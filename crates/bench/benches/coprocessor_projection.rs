@@ -1,0 +1,61 @@
+//! **§5.2 coprocessor projection** — "a complete Saber implementation
+//! with any of our high-speed polynomial multipliers would offer better
+//! area/performance trade-offs than the implementations in [7, 12]".
+//!
+//! Drops each multiplier model into the [10]-style coprocessor cost
+//! model and compares full-KEM latency, area and the area×time product.
+
+use criterion::{black_box, Criterion};
+use saber_bench::coprocessor::standard_projections;
+use saber_kem::params::SABER;
+use saber_kem::{decaps, encaps, keygen};
+use saber_ring::mul::ToomCook4Multiplier;
+
+fn print_projection() {
+    println!(
+        "{:<28} {:>8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "multiplier", "LUT", "DSP", "keygen", "encaps", "decaps", "enc µs", "LUT·µs"
+    );
+    println!("{}", "-".repeat(96));
+    for p in standard_projections() {
+        println!(
+            "{:<28} {:>8} {:>5} {:>9} {:>9} {:>9} {:>9.1} {:>12.0}",
+            p.multiplier,
+            p.area.luts,
+            p.area.dsps,
+            p.keygen_cycles,
+            p.encaps_cycles,
+            p.decaps_cycles,
+            p.encaps_us(),
+            p.area_time_product()
+        );
+    }
+    println!("\n(Saber parameter set; coprocessor surroundings held fixed across rows;");
+    println!(" §5.2: any HS multiplier beats the [7]-style coprocessor on area×time.)");
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coprocessor_projection");
+    group.sample_size(10);
+    group.bench_function("projection_generation", |b| {
+        b.iter(|| black_box(standard_projections()));
+    });
+    group.bench_function("software_reference_kem", |b| {
+        let mut backend = ToomCook4Multiplier;
+        let (pk, sk) = keygen(&SABER, &[1; 32], &mut backend);
+        b.iter(|| {
+            let (ct, ss) = encaps(&pk, black_box(&[2; 32]), &mut backend);
+            black_box((decaps(&sk, &ct, &mut backend), ss))
+        });
+    });
+    group.finish();
+}
+
+fn main() {
+    println!("\n=== §5.2 full-coprocessor projection ===\n");
+    print_projection();
+
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_projection(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,72 @@
+//! Software multiplication baselines: schoolbook vs Karatsuba (by
+//! recursion depth) vs Toom-Cook-4 vs NTT-over-prime.
+//!
+//! Supports the paper's related-work landscape (§1, §5.1): the software
+//! algorithms its hardware architectures are measured against. Prints
+//! the operation-count table (Karatsuba's base multiplications per
+//! §5.2's area/delay discussion), then times each implementation.
+
+use criterion::{black_box, Criterion};
+use saber_bench::tables::canonical_operands;
+use saber_ring::{karatsuba, ntt, schoolbook, toom};
+
+fn print_operation_counts() {
+    println!(
+        "coefficient multiplications per 256-coeff product (drives the §5.2 area discussion):"
+    );
+    println!("  {:<28} {:>10}", "algorithm", "base mults");
+    println!("  {:<28} {:>10}", "schoolbook", 256 * 256);
+    for levels in [1u32, 2, 4, 8] {
+        println!(
+            "  {:<28} {:>10}",
+            format!("karatsuba ({levels} levels)"),
+            karatsuba::base_multiplications(levels)
+        );
+    }
+    println!("  {:<28} {:>10}", "toom-cook-4 (7 × 64²)", 7 * 64 * 64);
+    println!("  {:<28} {:>10}", "ntt (3 transforms + 256)", "n·log n");
+    println!();
+}
+
+fn bench_software(c: &mut Criterion) {
+    let (a, s) = canonical_operands();
+    let ai = a.to_i64();
+    let si = s.to_i64();
+
+    let mut group = c.benchmark_group("software_multipliers");
+    group.bench_function("schoolbook", |b| {
+        b.iter(|| {
+            black_box(schoolbook::negacyclic_mul_i64(
+                black_box(&ai),
+                black_box(&si),
+            ))
+        });
+    });
+    for levels in [1u32, 4, 8] {
+        group.bench_function(format!("karatsuba_{levels}_levels"), |b| {
+            b.iter(|| {
+                black_box(karatsuba::negacyclic_mul(
+                    black_box(&ai),
+                    black_box(&si),
+                    levels,
+                ))
+            });
+        });
+    }
+    group.bench_function("toom_cook_4", |b| {
+        b.iter(|| black_box(toom::negacyclic_mul(black_box(&ai), black_box(&si))));
+    });
+    group.bench_function("ntt_goldilocks", |b| {
+        b.iter(|| black_box(ntt::negacyclic_mul(black_box(&ai), black_box(&si))));
+    });
+    group.finish();
+}
+
+fn main() {
+    println!("\n=== Software multiplier baselines ===\n");
+    print_operation_counts();
+
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_software(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,0 +1,160 @@
+//! Full-coprocessor projection: §5.2 argues that "a complete Saber
+//! implementation with any of our high-speed polynomial multipliers
+//! would offer better area/performance trade-offs than the
+//! implementations in \[7, 12\]". This module quantifies that argument
+//! by dropping each multiplier model into the \[10\]-style coprocessor
+//! cost model of `saber-kem::cost` and adding the fixed area of the
+//! surrounding blocks.
+
+use saber_core::{
+    CentralizedMultiplier, DspPackedMultiplier, HwMultiplier, LightweightMultiplier,
+    ToomCookHwMultiplier,
+};
+use saber_hw::Area;
+use saber_kem::cost::{decaps_cost, encaps_cost, keygen_cost, CostModel};
+use saber_kem::params::SABER;
+
+use crate::tables::canonical_operands;
+
+/// Fixed area of the coprocessor blocks around the multiplier, per the
+/// \[10\]-style architecture: the full-width Keccak datapath (modeled by
+/// [`saber_hw::KeccakCore`], the dominant block), the `β_µ` sampler
+/// ([`saber_hw::SamplerCore`]), and control/buses (estimated with the
+/// same 6-LUT mapping rules and held fixed across multiplier variants —
+/// only deltas matter for the comparison).
+#[must_use]
+pub fn surrounding_area() -> Area {
+    let keccak = saber_hw::KeccakCore::area();
+    let sampler = saber_hw::SamplerCore::new(8).area();
+    let control_and_buses = Area {
+        luts: 2_100,
+        ffs: 2_200,
+        dsps: 0,
+        brams: 2,
+    };
+    keccak + sampler + control_and_buses
+}
+
+/// One projected coprocessor configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoprocessorProjection {
+    /// Multiplier architecture name.
+    pub multiplier: String,
+    /// Total coprocessor area (multiplier + surroundings).
+    pub area: Area,
+    /// Modeled cycles for Saber keygen / encaps / decaps.
+    pub keygen_cycles: u64,
+    /// Encapsulation cycles.
+    pub encaps_cycles: u64,
+    /// Decapsulation cycles.
+    pub decaps_cycles: u64,
+    /// Modeled clock in MHz.
+    pub clock_mhz: f64,
+}
+
+impl CoprocessorProjection {
+    /// Encapsulation latency in microseconds at the modeled clock.
+    #[must_use]
+    pub fn encaps_us(&self) -> f64 {
+        self.encaps_cycles as f64 / self.clock_mhz
+    }
+
+    /// The area × time product (LUT·µs), the scalar §5.2 trades on.
+    #[must_use]
+    pub fn area_time_product(&self) -> f64 {
+        f64::from(self.area.luts + 100 * self.area.dsps) * self.encaps_us()
+    }
+}
+
+/// Projects a full Saber coprocessor around the given multiplier.
+#[must_use]
+pub fn project(hw: &mut dyn HwMultiplier) -> CoprocessorProjection {
+    let (a, s) = canonical_operands();
+    let _ = hw.multiply(&a, &s);
+    let report = hw.report();
+    // Inner-product usage: high-speed designs amortize the drain, so the
+    // per-multiplication cost in the KEM is compute + input loads; the
+    // LW and Toom designs pay their full totals.
+    let per_mult = if report.cycles.compute_cycles <= 512 {
+        report.cycles.compute_cycles + (16 + 1) + (13 + 1)
+    } else {
+        report.cycles.total()
+    };
+    let model = CostModel::high_speed().with_mult_cycles(per_mult);
+    CoprocessorProjection {
+        multiplier: report.name.clone(),
+        area: report.area + surrounding_area(),
+        keygen_cycles: keygen_cost(&SABER, &model).total(),
+        encaps_cycles: encaps_cost(&SABER, &model).total(),
+        decaps_cycles: decaps_cost(&SABER, &model).total(),
+        clock_mhz: report.fmax_mhz().min(250.0),
+    }
+}
+
+/// Projects the §5.2 comparison set.
+#[must_use]
+pub fn standard_projections() -> Vec<CoprocessorProjection> {
+    let mut designs: Vec<Box<dyn HwMultiplier>> = vec![
+        Box::new(CentralizedMultiplier::new(256)),
+        Box::new(CentralizedMultiplier::new(512)),
+        Box::new(DspPackedMultiplier::new()),
+        Box::new(ToomCookHwMultiplier::new()),
+        Box::new(LightweightMultiplier::new()),
+    ];
+    designs.iter_mut().map(|hw| project(hw.as_mut())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hs_coprocessors_beat_the_toom_coprocessor_on_area_time() {
+        // The §5.2 claim, quantified: every HS-based coprocessor has a
+        // better (smaller) area×time product than the [7]-style one.
+        let projections = standard_projections();
+        let toom = projections
+            .iter()
+            .find(|p| p.multiplier.contains("[7]"))
+            .unwrap();
+        for p in &projections {
+            if p.multiplier.starts_with("HS") {
+                assert!(
+                    p.area_time_product() < toom.area_time_product(),
+                    "{}: {} vs [7] {}",
+                    p.multiplier,
+                    p.area_time_product(),
+                    toom.area_time_product()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lightweight_coprocessor_is_smallest_and_slowest() {
+        let projections = standard_projections();
+        let lw = projections.iter().find(|p| p.multiplier == "LW").unwrap();
+        for p in &projections {
+            if p.multiplier != "LW" {
+                assert!(lw.area.luts <= p.area.luts, "vs {}", p.multiplier);
+                assert!(lw.encaps_cycles >= p.encaps_cycles, "vs {}", p.multiplier);
+            }
+        }
+    }
+
+    #[test]
+    fn encaps_latency_is_microseconds_scale_for_hs() {
+        let projections = standard_projections();
+        let hs = projections
+            .iter()
+            .find(|p| p.multiplier == "HS-I 256")
+            .unwrap();
+        // [10] reports ~26 µs-class encapsulation; our projection must be
+        // the same order of magnitude.
+        assert!(
+            (5.0..60.0).contains(&hs.encaps_us()),
+            "encaps = {} µs",
+            hs.encaps_us()
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Reported numbers from the papers the DAC 2021 evaluation compares
+//! against. These are *data constants transcribed from the paper's own
+//! citations* (the paper, like us, did not re-run those testbeds); our
+//! measured model numbers are printed next to them by the benches.
+
+/// One Table-1 row as the paper reports it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Architecture label used in the paper.
+    pub name: &'static str,
+    /// Target FPGA ("A7" or "U+").
+    pub fpga: &'static str,
+    /// Cycle count as quoted (LW includes memory overhead; HS rows are
+    /// pure compute).
+    pub cycles: u64,
+    /// Clock frequency in MHz.
+    pub clock_mhz: u32,
+    /// LUTs.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// DSP slices.
+    pub dsps: u32,
+}
+
+/// Table 1 of the paper, verbatim.
+pub const TABLE1_PAPER: &[Table1Row] = &[
+    Table1Row {
+        name: "LW",
+        fpga: "A7",
+        cycles: 19_471,
+        clock_mhz: 100,
+        luts: 541,
+        ffs: 301,
+        dsps: 0,
+    },
+    Table1Row {
+        name: "HS-I 256",
+        fpga: "U+",
+        cycles: 256,
+        clock_mhz: 250,
+        luts: 10_844,
+        ffs: 5_150,
+        dsps: 0,
+    },
+    Table1Row {
+        name: "HS-I 512",
+        fpga: "U+",
+        cycles: 128,
+        clock_mhz: 250,
+        luts: 22_118,
+        ffs: 4_920,
+        dsps: 0,
+    },
+    Table1Row {
+        name: "HS-II",
+        fpga: "U+",
+        cycles: 131,
+        clock_mhz: 250,
+        luts: 15_625,
+        ffs: 14_136,
+        dsps: 128,
+    },
+    Table1Row {
+        name: "[7]",
+        fpga: "A7",
+        cycles: 8_176,
+        clock_mhz: 125,
+        luts: 2_927,
+        ffs: 1_279,
+        dsps: 38,
+    },
+    Table1Row {
+        name: "[10] 256",
+        fpga: "U+",
+        cycles: 256,
+        clock_mhz: 250,
+        luts: 13_869,
+        ffs: 5_150,
+        dsps: 0,
+    },
+    Table1Row {
+        name: "[10] 512",
+        fpga: "U+",
+        cycles: 128,
+        clock_mhz: 250,
+        luts: 29_141,
+        ffs: 4_907,
+        dsps: 0,
+    },
+];
+
+/// §5.1 comparison points for the lightweight multiplier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LightweightComparison {
+    /// Implementation label.
+    pub name: &'static str,
+    /// Platform description.
+    pub platform: &'static str,
+    /// Cycles for one 256-coefficient polynomial multiplication (some
+    /// derived by the paper from matrix/inner-product figures).
+    pub mult_cycles: u64,
+    /// How the paper obtained the number.
+    pub note: &'static str,
+}
+
+/// The §5.1 table (prose) of lightweight-class comparisons.
+pub const LIGHTWEIGHT_COMPARISONS: &[LightweightComparison] = &[
+    LightweightComparison {
+        name: "LW (this paper)",
+        platform: "Artix-7 XC7A12TL @ 100 MHz",
+        mult_cycles: 19_471,
+        note: "includes all memory overhead",
+    },
+    LightweightComparison {
+        name: "RISQ-V [9]",
+        platform: "RISC-V + PQ accelerator",
+        mult_cycles: 71_349,
+        note: "RISC-V processor cycles; HW clock unknown",
+    },
+    LightweightComparison {
+        name: "Toom-Cook SW [6]",
+        platform: "ARM Cortex-M4",
+        mult_cycles: 35_000,
+        note: "≈317k for an ℓ=3 matrix-vector product / 9",
+    },
+    LightweightComparison {
+        name: "NTT SW [14]",
+        platform: "ARM Cortex-M4 @ 24 MHz",
+        mult_cycles: 19_000,
+        note: "≈57k for an ℓ=3 inner product / 3",
+    },
+];
+
+/// §5.2 comparison constants.
+pub mod high_speed {
+    /// DSPs instantiated by the Dang et al. \[12\] schoolbook design.
+    pub const DANG_DSPS: u32 = 256;
+    /// Cycles per multiplication in \[12\] (one DSP per coefficient,
+    /// 256 outer iterations).
+    pub const DANG_CYCLES: u64 = 256;
+    /// Clock frequency reported for the Karatsuba design of Zhu et al.
+    /// \[11\] (vs 250 MHz for ours).
+    pub const ZHU_CLOCK_MHZ: u32 = 100;
+    /// Claimed LUT reductions of §5.2 (HS-I-256 vs `[10]`-256, HS-I-512 vs
+    /// `[10]`-512, HS-II vs `[10]`-512).
+    pub const CLAIMED_LUT_REDUCTIONS: [(f64, &str); 3] = [
+        (0.22, "HS-I 256 vs [10] 256"),
+        (0.24, "HS-I 512 vs [10] 512"),
+        (0.46, "HS-II vs [10] 512"),
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_complete() {
+        assert_eq!(TABLE1_PAPER.len(), 7);
+        let lw = &TABLE1_PAPER[0];
+        assert_eq!(lw.cycles, 19_471);
+        assert_eq!(lw.luts, 541);
+    }
+
+    #[test]
+    fn comparison_factors_match_prose() {
+        // §5.1: RISQ-V ≈ 3.7× more cycles than LW.
+        let lw = LIGHTWEIGHT_COMPARISONS[0].mult_cycles as f64;
+        let risqv = LIGHTWEIGHT_COMPARISONS[1].mult_cycles as f64;
+        assert!((risqv / lw) > 3.0);
+    }
+}

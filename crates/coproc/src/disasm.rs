@@ -1,0 +1,160 @@
+//! Program disassembly and static profiling.
+//!
+//! `saber-sim` and the benches use these to show *what* a coprocessor
+//! program does before it runs: a one-line-per-instruction listing and
+//! an opcode histogram (the static counterpart of the executor's
+//! measured cycle breakdown).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::isa::{Instruction, Program};
+
+/// Returns the mnemonic of an instruction.
+#[must_use]
+pub fn mnemonic(instruction: &Instruction) -> &'static str {
+    match instruction {
+        Instruction::LoadBytes { .. } => "ldb",
+        Instruction::Concat { .. } => "cat",
+        Instruction::SplitBytes { .. } => "splt",
+        Instruction::Shake128 { .. } => "shk128",
+        Instruction::Shake256 { .. } => "shk256",
+        Instruction::Sha3_256 { .. } => "sha256",
+        Instruction::Sha3_512 { .. } => "sha512",
+        Instruction::UnpackPoly { .. } => "upk13",
+        Instruction::UnpackPoly10 { .. } => "upk10",
+        Instruction::UnpackPolyBits { .. } => "upkN",
+        Instruction::Sample { .. } => "cbd",
+        Instruction::ClearPoly { .. } => "pclr",
+        Instruction::MacPoly { .. } => "pmac",
+        Instruction::AddConst { .. } => "padd",
+        Instruction::ShiftRight { .. } => "pshr",
+        Instruction::Mask { .. } => "pmsk",
+        Instruction::PackPoly { .. } => "pack",
+        Instruction::SubMessage { .. } => "psubm",
+        Instruction::SubShifted { .. } => "psubs",
+        Instruction::ExtractMessage { .. } => "mext",
+        Instruction::StoreBytes { .. } => "stb",
+    }
+}
+
+/// Renders one instruction as assembly-style text.
+#[must_use]
+pub fn disassemble_one(instruction: &Instruction) -> String {
+    let m = mnemonic(instruction);
+    match instruction {
+        Instruction::LoadBytes { dst, bytes } => format!("{m:<7} {dst}, #{}B", bytes.len()),
+        Instruction::Concat { dst, a, b } => format!("{m:<7} {dst}, {a}, {b}"),
+        Instruction::SplitBytes {
+            dst_lo,
+            dst_hi,
+            src,
+            at,
+        } => format!("{m:<7} {dst_lo}, {dst_hi}, {src}, @{at}"),
+        Instruction::Shake128 { dst, src, len } | Instruction::Shake256 { dst, src, len } => {
+            format!("{m:<7} {dst}, {src}, #{len}B")
+        }
+        Instruction::Sha3_256 { dst, src } | Instruction::Sha3_512 { dst, src } => {
+            format!("{m:<7} {dst}, {src}")
+        }
+        Instruction::UnpackPoly { dst, src, index }
+        | Instruction::UnpackPoly10 { dst, src, index } => {
+            format!("{m:<7} {dst}, {src}[{index}]")
+        }
+        Instruction::UnpackPolyBits {
+            dst,
+            src,
+            bits,
+            index,
+        } => format!("{m:<7} {dst}, {src}[{index}], w{bits}"),
+        Instruction::Sample {
+            dst,
+            src,
+            index,
+            mu,
+        } => format!("{m:<7} {dst}, {src}[{index}], µ{mu}"),
+        Instruction::ClearPoly { dst } => format!("{m:<7} {dst}"),
+        Instruction::MacPoly { acc, a, s } => format!("{m:<7} {acc} += {a}·{s}"),
+        Instruction::AddConst { poly, value } => format!("{m:<7} {poly}, #{value}"),
+        Instruction::ShiftRight { poly, shift } => format!("{m:<7} {poly}, >>{shift}"),
+        Instruction::Mask { poly, bits } => format!("{m:<7} {poly}, w{bits}"),
+        Instruction::PackPoly { dst, src, bits } => format!("{m:<7} {dst}, {src}, w{bits}"),
+        Instruction::SubMessage { poly, msg } => format!("{m:<7} {poly}, {msg}"),
+        Instruction::SubShifted { poly, other, shift } => {
+            format!("{m:<7} {poly} -= {other}<<{shift}")
+        }
+        Instruction::ExtractMessage { dst, src } => format!("{m:<7} {dst}, {src}"),
+        Instruction::StoreBytes { name, src } => format!("{m:<7} \"{name}\", {src}"),
+    }
+}
+
+/// Renders a whole program as an assembly listing.
+///
+/// # Examples
+///
+/// ```
+/// use saber_coproc::disasm::disassemble;
+/// use saber_coproc::programs::keygen_program;
+/// use saber_kem::params::SABER;
+///
+/// let listing = disassemble(&keygen_program(&SABER, &[0u8; 32]));
+/// assert!(listing.contains("pmac"));
+/// assert!(listing.contains("shk128"));
+/// ```
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for (pc, instruction) in program.instructions.iter().enumerate() {
+        let _ = writeln!(out, "{pc:>4}: {}", disassemble_one(instruction));
+    }
+    out
+}
+
+/// Static opcode histogram of a program.
+#[must_use]
+pub fn profile(program: &Program) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for instruction in &program.instructions {
+        *counts.entry(mnemonic(instruction)).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{encaps_program, keygen_program};
+    use saber_kem::params::SABER;
+
+    #[test]
+    fn keygen_listing_has_expected_structure() {
+        let program = keygen_program(&SABER, &[1; 32]);
+        let listing = disassemble(&program);
+        assert_eq!(listing.lines().count(), program.len());
+        // Key structural facts of Saber keygen.
+        let counts = profile(&program);
+        assert_eq!(counts["pmac"], 9, "ℓ² multiplications");
+        assert_eq!(counts["cbd"], 3, "ℓ secrets");
+        assert_eq!(counts["shk128"], 2, "matrix + secret streams");
+        assert_eq!(counts["shk256"], 1, "seed expansion");
+    }
+
+    #[test]
+    fn encaps_listing_counts() {
+        let program = encaps_program(&SABER, &vec![0u8; SABER.public_key_bytes()], &[2; 32]);
+        let counts = profile(&program);
+        assert_eq!(counts["pmac"], 12, "ℓ² + ℓ multiplications");
+        assert_eq!(counts["sha256"], 3, "m hash, pk hash, final key");
+        assert_eq!(counts["sha512"], 1, "the G split");
+    }
+
+    #[test]
+    fn every_instruction_disassembles() {
+        let program = keygen_program(&SABER, &[1; 32]);
+        for instruction in &program.instructions {
+            let text = disassemble_one(instruction);
+            assert!(!text.is_empty());
+            assert!(text.starts_with(mnemonic(instruction)));
+        }
+    }
+}

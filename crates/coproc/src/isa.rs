@@ -1,0 +1,264 @@
+//! The coprocessor's instruction set.
+//!
+//! Modeled on the flavor of the TCHES 2020 instruction-set coprocessor
+//! (\[10\] in the paper): a host writes operands into the data memory,
+//! issues a short program, and reads results back. Instructions operate
+//! on a small register file of *typed buffers* (byte strings,
+//! polynomials, secrets) — the simulator's analogue of the coprocessor's
+//! BRAM-resident operands.
+
+use std::fmt;
+
+/// A register index into the coprocessor's buffer file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One coprocessor instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instruction {
+    /// Load immediate bytes from the host into `dst` (DMA-in).
+    LoadBytes {
+        /// Destination register.
+        dst: Reg,
+        /// The bytes.
+        bytes: Vec<u8>,
+    },
+    /// Concatenate the byte contents of `a ‖ b` into `dst`.
+    Concat {
+        /// Destination register.
+        dst: Reg,
+        /// First source.
+        a: Reg,
+        /// Second source.
+        b: Reg,
+    },
+    /// SHAKE-128 XOF: squeeze `len` bytes of `SHAKE-128(src)` into `dst`
+    /// (runs on the Keccak core).
+    Shake128 {
+        /// Destination register.
+        dst: Reg,
+        /// Input bytes register.
+        src: Reg,
+        /// Output length in bytes.
+        len: usize,
+    },
+    /// SHAKE-256 XOF: squeeze `len` bytes of `SHAKE-256(src)` into `dst`.
+    Shake256 {
+        /// Destination register.
+        dst: Reg,
+        /// Input bytes register.
+        src: Reg,
+        /// Output length in bytes.
+        len: usize,
+    },
+    /// SHA3-256 digest of `src` into `dst`.
+    Sha3_256 {
+        /// Destination register.
+        dst: Reg,
+        /// Input register.
+        src: Reg,
+    },
+    /// SHA3-512 digest of `src` into `dst`.
+    Sha3_512 {
+        /// Destination register.
+        dst: Reg,
+        /// Input register.
+        src: Reg,
+    },
+    /// Split the byte register `src` into `(dst_lo, dst_hi)` at `at`.
+    SplitBytes {
+        /// Low half destination.
+        dst_lo: Reg,
+        /// High half destination.
+        dst_hi: Reg,
+        /// Source register.
+        src: Reg,
+        /// Split offset in bytes.
+        at: usize,
+    },
+    /// Unpack a 13-bit-packed polynomial from byte register `src`
+    /// (offset `index` polynomials in) into polynomial register `dst`.
+    UnpackPoly {
+        /// Destination polynomial register.
+        dst: Reg,
+        /// Source byte register.
+        src: Reg,
+        /// Which polynomial within the stream.
+        index: usize,
+    },
+    /// Unpack a 10-bit-packed polynomial (zero-extended to mod q).
+    UnpackPoly10 {
+        /// Destination polynomial register.
+        dst: Reg,
+        /// Source byte register.
+        src: Reg,
+        /// Which polynomial within the stream.
+        index: usize,
+    },
+    /// Unpack polynomial `index` of a `bits`-wide packed stream
+    /// (zero-extended into the mod-q register).
+    UnpackPolyBits {
+        /// Destination polynomial register.
+        dst: Reg,
+        /// Source byte register.
+        src: Reg,
+        /// Coefficient width of the stream.
+        bits: u32,
+        /// Which polynomial within the stream.
+        index: usize,
+    },
+    /// Run the `β_µ` sampler over `src`, producing secret `index` of the
+    /// stream into `dst`.
+    Sample {
+        /// Destination secret register.
+        dst: Reg,
+        /// Source byte register.
+        src: Reg,
+        /// Which secret polynomial within the stream.
+        index: usize,
+        /// Binomial parameter.
+        mu: u32,
+    },
+    /// Clear a polynomial register to zero.
+    ClearPoly {
+        /// Destination polynomial register.
+        dst: Reg,
+    },
+    /// Multiply-accumulate: `acc += a · s` on the multiplier engine.
+    MacPoly {
+        /// Accumulator polynomial register.
+        acc: Reg,
+        /// Public polynomial register.
+        a: Reg,
+        /// Secret register.
+        s: Reg,
+    },
+    /// Add the constant `value` to every coefficient of `poly`.
+    AddConst {
+        /// Target polynomial register.
+        poly: Reg,
+        /// Constant.
+        value: u16,
+    },
+    /// Floor-shift a mod-q polynomial right by `shift` bits in place
+    /// (the Saber rounding step; results stay in the mod-q register but
+    /// only the low `13 − shift` bits are meaningful).
+    ShiftRight {
+        /// Target polynomial register.
+        poly: Reg,
+        /// Shift amount.
+        shift: u32,
+    },
+    /// Mask every coefficient to `bits` bits (modulus switch down).
+    Mask {
+        /// Target polynomial register.
+        poly: Reg,
+        /// Remaining width.
+        bits: u32,
+    },
+    /// Pack a polynomial into bytes with `bits`-wide coefficients,
+    /// appending to the byte register `dst`.
+    PackPoly {
+        /// Destination byte register (appended).
+        dst: Reg,
+        /// Source polynomial register.
+        src: Reg,
+        /// Coefficient width.
+        bits: u32,
+    },
+    /// Subtract `2^(ε_p−1)·m` from `poly` where `m` is the 1-bit message
+    /// polynomial unpacked from byte register `msg`.
+    SubMessage {
+        /// Target polynomial register (mod p values).
+        poly: Reg,
+        /// 32-byte message register.
+        msg: Reg,
+    },
+    /// Recover the message bits from `poly` (`(x + h2 − cm·2^(εp−εT))
+    /// >> (εp − 1)` has already been applied; this extracts bit 9) into
+    /// byte register `dst`.
+    ExtractMessage {
+        /// Destination byte register.
+        dst: Reg,
+        /// Source polynomial register.
+        src: Reg,
+    },
+    /// Coefficient-wise subtraction `poly −= other · 2^shift`.
+    SubShifted {
+        /// Target polynomial register.
+        poly: Reg,
+        /// Operand polynomial register.
+        other: Reg,
+        /// Left shift applied to `other`.
+        shift: u32,
+    },
+    /// Store a byte register to the host (DMA-out); the executor records
+    /// it as a named output.
+    StoreBytes {
+        /// Output name.
+        name: &'static str,
+        /// Source register.
+        src: Reg,
+    },
+}
+
+/// A straight-line coprocessor program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The instructions, executed in order.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an instruction (builder style).
+    pub fn push(&mut self, instruction: Instruction) -> &mut Self {
+        self.instructions.push(instruction);
+        self
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_builder() {
+        let mut p = Program::new();
+        p.push(Instruction::ClearPoly { dst: Reg(0) })
+            .push(Instruction::AddConst {
+                poly: Reg(0),
+                value: 4,
+            });
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn registers_display() {
+        assert_eq!(Reg(7).to_string(), "r7");
+    }
+}

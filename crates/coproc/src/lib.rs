@@ -1,0 +1,43 @@
+//! An instruction-set Saber coprocessor simulator.
+//!
+//! The paper's multipliers do not exist in isolation: they are the
+//! arithmetic engine of an instruction-set coprocessor (the \[10\]
+//! system of Roy & Basso, TCHES 2020). This crate closes that loop: a
+//! small typed [`isa`] (hash, sample, MAC, round, pack, DMA), an
+//! [`executor`] that runs programs over the cycle-accurate component
+//! models of `saber-hw` with a **pluggable multiplier architecture**
+//! from `saber-core`, and [`programs`] implementing the full Saber KEM
+//! as instruction sequences.
+//!
+//! Everything is *functional and measured at once*: the programs'
+//! byte outputs are asserted identical to the pure-software `saber-kem`
+//! (same keys, ciphertexts and shared secrets), while the executor
+//! accumulates a per-class cycle breakdown that reproduces the
+//! coprocessor economics behind the paper's §1 motivation.
+//!
+//! # Examples
+//!
+//! ```
+//! use saber_coproc::executor::Coprocessor;
+//! use saber_coproc::programs::keygen_program;
+//! use saber_core::CentralizedMultiplier;
+//! use saber_kem::params::SABER;
+//!
+//! let mut hs1 = CentralizedMultiplier::new(256);
+//! let mut cpu = Coprocessor::new(&mut hs1);
+//! cpu.run(&keygen_program(&SABER, &[7u8; 32]))?;
+//! assert_eq!(cpu.output("pk").unwrap().len(), SABER.public_key_bytes());
+//! println!("keygen took {} modeled cycles", cpu.cycles().total());
+//! # Ok::<(), saber_coproc::executor::ExecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disasm;
+pub mod executor;
+pub mod isa;
+pub mod programs;
+
+pub use executor::{Coprocessor, CycleBreakdown, ExecError};
+pub use isa::{Instruction, Program, Reg};

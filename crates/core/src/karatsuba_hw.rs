@@ -1,0 +1,212 @@
+//! A projection model of the parallel 8-level Karatsuba multiplier of
+//! Zhu et al. (ePrint 2020/1037, reference \[11\] of the paper).
+//!
+//! §5.2 discusses \[11\] only qualitatively — "a very low cycle count,
+//! while probably requiring a higher area consumption … a much lower
+//! clock frequency (100 MHz vs 250 MHz) and lacks the flexibility" — so
+//! this model is a **projection**, clearly labeled as such: it
+//! quantifies the structural consequences of full Karatsuba unrolling so
+//! the `hs_comparison` bench can put numbers on the paper's argument.
+//!
+//! * **Sharing** — a *fully* unrolled 8-level tree is not buildable:
+//!   counting its adder networks with our 6-LUT mapping rules gives
+//!   ≈730 k LUTs, 2.7× the whole XCZU9EG. \[11\]'s own description
+//!   ("its iterative nature") implies resource sharing, so the
+//!   projection assumes the natural shared structure: the `3^8 = 6 561`
+//!   leaf products execute on a 2 187-multiplier array in 3 waves, and
+//!   one 2 187-lane adder array is reused for every pre/post level.
+//! * **Cycles** — 8 pre-processing passes + 3 leaf waves + 16
+//!   post-processing passes + pipeline ≈ 30 cycles per multiplication:
+//!   "a very low cycle count", as §5.2 expects.
+//! * **Area** — leaf array + shared adder array + alignment registers:
+//!   ≈3× the HS-I-512 budget.
+//! * **Clock** — the shared-array muxing and combine chains deepen the
+//!   critical path; with ~12 LUT levels the frequency model lands near
+//!   the 100 MHz the paper quotes for \[11\].
+
+use saber_hw::area::{adder, Area};
+use saber_hw::platform::{CriticalPath, Fpga};
+use saber_hw::{Activity, CycleReport};
+use saber_ring::{karatsuba, PolyMultiplier, PolyQ, SecretPoly, N};
+
+use crate::report::{ArchitectureReport, HwMultiplier};
+
+/// The \[11\]-style fully-unrolled Karatsuba multiplier projection.
+///
+/// # Examples
+///
+/// ```
+/// use saber_core::karatsuba_hw::KaratsubaHwMultiplier;
+/// use saber_core::report::HwMultiplier;
+/// use saber_ring::{PolyMultiplier, PolyQ, SecretPoly, schoolbook};
+///
+/// let mut hw = KaratsubaHwMultiplier::new(8);
+/// let a = PolyQ::from_fn(|i| i as u16);
+/// let s = SecretPoly::from_fn(|i| ((i % 7) as i8) - 3);
+/// assert_eq!(hw.multiply(&a, &s), schoolbook::mul_asym(&a, &s));
+/// // Very low cycle count, much larger area than HS-I/HS-II.
+/// assert!(hw.report().cycles.compute_cycles < 131);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KaratsubaHwMultiplier {
+    levels: u32,
+    name: String,
+    last_cycles: CycleReport,
+    activity: Activity,
+}
+
+impl KaratsubaHwMultiplier {
+    /// Creates the projection with the given unroll depth (1..=8; \[11\]
+    /// uses 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is 0 or exceeds 8.
+    #[must_use]
+    pub fn new(levels: u32) -> Self {
+        assert!((1..=8).contains(&levels), "levels must be in 1..=8");
+        Self {
+            levels,
+            name: format!("[11] Karatsuba-{levels} (projection)"),
+            last_cycles: CycleReport::default(),
+            activity: Activity::default(),
+        }
+    }
+
+    /// Leaf waves: the leaf-product array is one third of the leaf count
+    /// and is reused three times.
+    pub const LEAF_WAVES: u64 = 3;
+
+    /// Latency in cycles of the resource-shared structure: one pass per
+    /// pre-processing level, the leaf waves, two passes per
+    /// post-processing level, plus two pipeline/alignment cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        u64::from(self.levels) + Self::LEAF_WAVES + 2 * u64::from(self.levels) + 2
+    }
+
+    /// Area of the resource-shared projection (see the module docs).
+    #[must_use]
+    pub fn area(&self) -> Area {
+        let leaves = 3u64.pow(self.levels);
+        let leaf_len = (N as u32) >> self.levels;
+        // Leaf-product array: leaves/3 small multipliers (13×(4+levels)
+        // products via shift-add, ~10 LUT each for 1×1 leaves, scaled by
+        // leaf length for shallower unrolls).
+        let leaf_array =
+            Area::luts((leaves.div_ceil(Self::LEAF_WAVES) as u32) * leaf_len * leaf_len * 10);
+        // Shared pre/post adder array: one lane per widest-level node,
+        // ~17-bit intermediates, plus the steering muxes reuse demands.
+        let lanes = 3u32.pow(self.levels - 1).min(2_187);
+        let adder_array = adder(17) * lanes + crate::engine::control_overhead();
+        let steering = Area::luts(lanes * 4);
+        // Alignment registers for one full level of intermediates.
+        let regs = Area::ffs(lanes * 17);
+        leaf_array + adder_array + steering + regs
+    }
+}
+
+impl PolyMultiplier for KaratsubaHwMultiplier {
+    fn multiply(&mut self, public: &PolyQ, secret: &SecretPoly) -> PolyQ {
+        let product = karatsuba::mul_asym(public, secret, self.levels);
+        self.last_cycles = CycleReport {
+            compute_cycles: self.latency(),
+            memory_overhead_cycles: 52 + 16 + 52,
+        };
+        let area = self.area();
+        self.activity = self.activity.merge(Activity {
+            cycles: self.last_cycles.total(),
+            bram_reads: 52 + 16,
+            bram_writes: 52,
+            io_words: 52 + 16 + 52,
+            active_luts: u64::from(area.luts),
+            active_ffs: u64::from(area.ffs),
+            dsp_ops: 0,
+        });
+        product
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl HwMultiplier for KaratsubaHwMultiplier {
+    fn report(&self) -> ArchitectureReport {
+        ArchitectureReport {
+            name: self.name.clone(),
+            fpga: Fpga::UltrascalePlus,
+            cycles: self.last_cycles,
+            area: self.area(),
+            // Deep combine chains: the §5.2 "longer critical path (hence
+            // slower clock)" argument.
+            critical_path: CriticalPath { logic_levels: 12 },
+            activity: Some(self.activity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::CentralizedMultiplier;
+    use saber_ring::schoolbook;
+
+    #[test]
+    fn functional_correctness_all_depths() {
+        let a = PolyQ::from_fn(|i| (i as u16).wrapping_mul(431) & 0x1fff);
+        let s = SecretPoly::from_fn(|i| (((i * 7) % 11) as i8) - 5);
+        let expected = schoolbook::mul_asym(&a, &s);
+        for levels in [1u32, 4, 8] {
+            let mut hw = KaratsubaHwMultiplier::new(levels);
+            assert_eq!(hw.multiply(&a, &s), expected, "levels {levels}");
+        }
+    }
+
+    #[test]
+    fn section_5_2_contrast_holds() {
+        // §5.2: [11] ⇒ very low cycle count, higher area, slower clock
+        // than the HS designs.
+        let a = PolyQ::from_fn(|i| i as u16);
+        let s = SecretPoly::from_fn(|_| 2);
+        let mut zhu = KaratsubaHwMultiplier::new(8);
+        let mut hs1 = CentralizedMultiplier::new(512);
+        let _ = zhu.multiply(&a, &s);
+        let _ = hs1.multiply(&a, &s);
+        let zr = zhu.report();
+        let hr = hs1.report();
+        assert!(zr.cycles.compute_cycles < hr.cycles.compute_cycles);
+        assert!(
+            zr.area.luts > hr.area.luts,
+            "{} vs {}",
+            zr.area.luts,
+            hr.area.luts
+        );
+        assert!(zr.fmax_mhz() < hr.fmax_mhz());
+        // Clock regime: around 100 MHz vs around 250+ MHz.
+        assert!(zr.fmax_mhz() < 180.0, "fmax = {}", zr.fmax_mhz());
+    }
+
+    #[test]
+    fn latency_formula() {
+        // 8 pre + 3 leaf waves + 16 post + 2 pipeline = 29.
+        assert_eq!(KaratsubaHwMultiplier::new(8).latency(), 29);
+        assert_eq!(KaratsubaHwMultiplier::new(1).latency(), 8);
+    }
+
+    #[test]
+    fn area_grows_with_depth() {
+        let a4 = KaratsubaHwMultiplier::new(4).area();
+        let a8 = KaratsubaHwMultiplier::new(8).area();
+        // Deeper unrolling shrinks the leaves but grows the add networks;
+        // both are far above the HS-I budget.
+        assert!(a4.luts > 22_118);
+        assert!(a8.luts > 22_118);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn zero_levels_rejected() {
+        let _ = KaratsubaHwMultiplier::new(0);
+    }
+}

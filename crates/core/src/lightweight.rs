@@ -1,0 +1,415 @@
+//! **LW**: the lightweight 4-MAC multiplier (§4, Fig. 4) — the paper's
+//! third contribution and the first dedicated lightweight polynomial
+//! multiplier for Saber (541 LUT / 301 FF on a small Artix-7).
+//!
+//! ## The architecture
+//!
+//! * only **4 MAC units** (with the §3.1 centralized-multiple
+//!   optimization: `{a, 2a, 3a, 4a}` computed once per public
+//!   coefficient and broadcast);
+//! * one 64-bit block of the secret (16 4-bit coefficients) resident at
+//!   a time; a full multiplication is 16 block passes;
+//! * the public polynomial streamed through a two-word shift buffer with
+//!   a 24-bit extraction multiplexer (coefficients straddle word
+//!   boundaries — 13 ∤ 64);
+//! * the **accumulator lives in the BRAM**, not in registers: every
+//!   compute cycle reads the accumulator word needed next and writes the
+//!   word finalized last, so both memory ports are saturated during
+//!   computation. Any input load must therefore *pause the datapath* —
+//!   the §4.1 scheduling story, reproduced here cycle by cycle against
+//!   the port-checked [`saber_hw::Bram`] model.
+//!
+//! ## Schedule and cycle count
+//!
+//! Per block pass: load the secret word, pre-fill the public buffer,
+//! prime the accumulator window, then 256 public coefficients × 4 cycles
+//! of MACs (4 MACs × 4 cycles = the 16 resident secret coefficients),
+//! pausing three cycles per streamed public word (port steal + pipeline
+//! flush/refill — the simple-control restart this architecture's tiny
+//! FSM affords). Pure compute is exactly `16 × 1024 = 16 384` cycles as
+//! in the paper; the *measured* total of this model is 18 928 cycles
+//! versus the paper's reported 19 471 (−2.8 %; the authors' RTL
+//! scheduler is not published — see EXPERIMENTS.md), with the memory
+//! overhead below 16 % of the total, matching §4.1's characterization.
+//!
+//! The simulator splits timing from data in the standard way: port
+//! arbitration, stalls and latencies are simulated exactly against the
+//! BRAM model, while MAC results are applied functionally (the dataflow
+//! equivalence is verified against the schoolbook oracle on every run).
+
+use saber_hw::mac::{multiples, select_multiple};
+use saber_hw::platform::{CriticalPath, Fpga};
+use saber_hw::{Activity, Area, Bram, CycleReport};
+use saber_ring::{packing, PolyMultiplier, PolyQ, SecretPoly, N};
+
+use crate::report::{ArchitectureReport, HwMultiplier};
+
+/// Number of MAC units.
+pub const MACS: usize = 4;
+
+/// Secret coefficients per 64-bit block.
+pub const BLOCK_COEFFS: usize = 16;
+
+/// Number of block passes per multiplication.
+pub const BLOCKS: usize = N / BLOCK_COEFFS;
+
+// Memory map (64-bit word addresses).
+const PUB_BASE: usize = 0;
+const PUB_WORDS: usize = 52;
+const SEC_BASE: usize = PUB_BASE + PUB_WORDS;
+const SEC_WORDS: usize = 16;
+const ACC_BASE: usize = SEC_BASE + SEC_WORDS;
+const ACC_WORDS: usize = 64; // 256 coefficients, 4 × 16-bit fields per word
+
+/// The lightweight multiplier.
+///
+/// # Examples
+///
+/// ```
+/// use saber_core::lightweight::LightweightMultiplier;
+/// use saber_core::report::HwMultiplier;
+/// use saber_ring::{PolyMultiplier, PolyQ, SecretPoly, schoolbook};
+///
+/// let mut hw = LightweightMultiplier::new();
+/// let a = PolyQ::from_fn(|i| (i * 7) as u16);
+/// let s = SecretPoly::from_fn(|i| ((i % 11) as i8) - 5);
+/// assert_eq!(hw.multiply(&a, &s), schoolbook::mul_asym(&a, &s));
+/// let r = hw.report();
+/// assert_eq!(r.cycles.compute_cycles, 16_384);
+/// assert!(r.cycles.total() < 20_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LightweightMultiplier {
+    last_cycles: CycleReport,
+    activity: Activity,
+    multiplications: u64,
+}
+
+impl LightweightMultiplier {
+    /// Creates the 4-MAC architecture.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            last_cycles: CycleReport::default(),
+            activity: Activity::default(),
+            multiplications: 0,
+        }
+    }
+
+    /// Multiplications simulated so far.
+    #[must_use]
+    pub fn multiplications(&self) -> u64 {
+        self.multiplications
+    }
+
+    /// Modeled area, following the Fig. 4 inventory: 4 selector MACs, one
+    /// shared multiple generator, the 24-bit extraction mux, the shift
+    /// buffers (public two-word + secret block + accumulator window) and
+    /// the small control FSM.
+    #[must_use]
+    pub fn area(&self) -> Area {
+        use saber_hw::area::{adder, mux, register};
+        // Datapath LUTs.
+        let macs = (mux(6, 13) + adder(16)) * MACS as u32; // 4 × (selector + 16-bit acc adder)
+        let generator = adder(14) + adder(15); // 3a, 5a
+        let extraction = mux(12, 13); // 24-bit window → 13-bit coefficient
+        let shift_in = mux(2, 64); // public buffer load/shift steering
+                                   // Registers: public 64+24, secret 2 × 64 (current + wrap view),
+                                   // accumulator window 64, control/counters ≈ 21.
+        let regs = register(64 + 24) + register(128) + register(64) + register(21);
+        // Address generation (three counters with base-offset adders),
+        // the negacyclic wrap comparators and selector negation on the
+        // secret path, the buffer-level counter/comparator, and the block
+        // FSM — calibrated against the paper's 541-LUT synthesis total.
+        let control = Area::luts(260);
+        macs + generator + extraction + shift_in + regs + control
+    }
+
+    /// Cycle-accurate run against the BRAM model; returns the product and
+    /// the memory statistics.
+    fn simulate(&self, a: &PolyQ, s: &SecretPoly) -> (PolyQ, CycleReport, Activity) {
+        let mut mem = Bram::new(ACC_BASE + ACC_WORDS);
+        // The host wrote the operands into the shared memory before
+        // starting the multiplier (those transfers belong to the caller,
+        // exactly as in the paper's accounting).
+        mem.preload(PUB_BASE, &packing::poly13_to_words(a));
+        mem.preload(SEC_BASE, &packing::secret_to_words(s));
+
+        let mut acc = [0u16; N];
+        let mut compute_cycles = 0u64;
+
+        for block in 0..BLOCKS {
+            // --- Load the block's 16 secret coefficients (2 cycles). ---
+            mem.issue_read(SEC_BASE + block).expect("port free");
+            mem.tick();
+            let secret_word = mem.read_data().expect("secret word arrives");
+            mem.tick(); // latch into the secret register
+            let block_secrets = decode_secret_word(secret_word);
+            debug_assert_eq!(
+                block_secrets,
+                std::array::from_fn(|t| s.coeff(BLOCK_COEFFS * block + t)),
+                "secret register must match the operand"
+            );
+
+            // --- Pre-fill the public shift buffer: 2 words (3 cycles). ---
+            let mut pub_loaded = 0usize;
+            let mut buffer_bits = 0u32;
+            for w in 0..2 {
+                mem.issue_read(PUB_BASE + w).expect("port free");
+                mem.tick();
+                pub_loaded += 1;
+                buffer_bits += 64;
+            }
+            mem.tick(); // final latch
+
+            // --- Prime the accumulator window (2 cycles). ---
+            mem.issue_read(acc_word_addr(block, 0)).expect("port free");
+            mem.tick();
+            mem.tick();
+
+            // --- Compute: 256 coefficients × 4 cycles. ---
+            for i in 0..N {
+                // Consuming coefficient i drains 13 bits of the buffer.
+                buffer_bits -= 13;
+                let m = multiples(a.coeff(i));
+                for g in 0..4 {
+                    // Stream the next public word when ≥64 bits are free;
+                    // the load steals the read port, so the saturated
+                    // accumulator pipeline is flushed and refilled
+                    // (3 cycles with this design's minimal control).
+                    if 128 - buffer_bits >= 64 && pub_loaded < PUB_WORDS {
+                        mem.tick(); // drain in-flight MAC result
+                        mem.issue_read(PUB_BASE + pub_loaded)
+                            .expect("port stolen cleanly");
+                        mem.tick(); // word arrives
+                        pub_loaded += 1;
+                        buffer_bits += 64;
+                        mem.tick(); // refill the pipeline
+                    }
+                    // One MAC cycle: read the window needed next, write
+                    // the word finalized last, update 4 coefficients.
+                    let window = (i + 4 * g + 5) / 4 % ACC_WORDS;
+                    mem.issue_read(acc_word_addr(block, window))
+                        .expect("read port free");
+                    let prev = (i + 4 * g) / 4 % ACC_WORDS;
+                    mem.issue_write(acc_word_addr(block, prev), pack_acc_fields(&acc, i))
+                        .expect("write port free");
+                    for t in 0..MACS {
+                        let k = BLOCK_COEFFS * block + 4 * g + t;
+                        let pos = (i + k) % N;
+                        let wraps = i + k >= N;
+                        let sk = block_secrets[4 * g + t];
+                        let selector = if wraps { -sk } else { sk };
+                        acc[pos] = select_multiple(&m, selector, acc[pos]);
+                    }
+                    mem.tick();
+                    compute_cycles += 1;
+                }
+            }
+
+            // --- Drain the final window (2 cycles). ---
+            mem.issue_write(acc_word_addr(block, ACC_WORDS - 1), 0)
+                .expect("port free");
+            mem.tick();
+            mem.tick();
+        }
+
+        let stats = mem.stats();
+        let report = CycleReport {
+            compute_cycles,
+            memory_overhead_cycles: stats.cycles - compute_cycles,
+        };
+        let area = self.area();
+        let activity = Activity {
+            cycles: stats.cycles,
+            bram_reads: stats.reads,
+            bram_writes: stats.writes,
+            // Every port access crosses the module IO boundary in this
+            // design (the multiplier shares the system memory).
+            io_words: stats.reads + stats.writes,
+            active_luts: u64::from(area.luts),
+            active_ffs: u64::from(area.ffs),
+            dsp_ops: 0,
+        };
+        (PolyQ::from_coeffs(acc), report, activity)
+    }
+}
+
+/// Decodes a 64-bit secret word into its 16 two's-complement nibbles.
+fn decode_secret_word(word: u64) -> [i8; BLOCK_COEFFS] {
+    std::array::from_fn(|t| {
+        let nibble = ((word >> (4 * t)) & 0xf) as i8;
+        if nibble >= 8 {
+            nibble - 16
+        } else {
+            nibble
+        }
+    })
+}
+
+/// Accumulator word address for the window `w` of block pass `b` (the
+/// stream rotates with the pass so addresses differ per block).
+fn acc_word_addr(block: usize, window: usize) -> usize {
+    ACC_BASE + (window + 4 * block) % ACC_WORDS
+}
+
+/// Packs four 16-bit accumulator fields for the write-back stream.
+fn pack_acc_fields(acc: &[u16; N], i: usize) -> u64 {
+    let base = (i / 4) * 4;
+    (0..4).fold(0u64, |w, t| {
+        w | (u64::from(acc[(base + t) % N]) << (16 * t))
+    })
+}
+
+impl Default for LightweightMultiplier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PolyMultiplier for LightweightMultiplier {
+    fn multiply(&mut self, public: &PolyQ, secret: &SecretPoly) -> PolyQ {
+        let (product, cycles, activity) = self.simulate(public, secret);
+        self.last_cycles = cycles;
+        self.activity = self.activity.merge(activity);
+        self.multiplications += 1;
+        product
+    }
+
+    fn name(&self) -> &str {
+        "LW (4 MAC)"
+    }
+}
+
+impl HwMultiplier for LightweightMultiplier {
+    fn report(&self) -> ArchitectureReport {
+        ArchitectureReport {
+            name: "LW".into(),
+            fpga: Fpga::Artix7,
+            cycles: self.last_cycles,
+            area: self.area(),
+            // Extraction mux → multiple generator → selector → adder,
+            // plus the memory-word mux: deeper than the HS designs.
+            critical_path: CriticalPath { logic_levels: 8 },
+            activity: Some(self.activity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saber_ring::schoolbook;
+
+    fn operands(seed: u16) -> (PolyQ, SecretPoly) {
+        (
+            PolyQ::from_fn(|i| (i as u16).wrapping_mul(seed).wrapping_add(seed) & 0x1fff),
+            SecretPoly::from_fn(|i| ((((i as u32).wrapping_mul(seed as u32) >> 2) % 11) as i8) - 5),
+        )
+    }
+
+    #[test]
+    fn functional_correctness() {
+        for seed in [3u16, 999, 8111] {
+            let (a, s) = operands(seed);
+            let mut hw = LightweightMultiplier::new();
+            assert_eq!(
+                hw.multiply(&a, &s),
+                schoolbook::mul_asym(&a, &s),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn pure_compute_is_exactly_16384() {
+        let (a, s) = operands(17);
+        let mut hw = LightweightMultiplier::new();
+        let _ = hw.multiply(&a, &s);
+        assert_eq!(hw.report().cycles.compute_cycles, 16_384);
+    }
+
+    #[test]
+    fn total_cycles_near_paper() {
+        // Paper: 19,471 including memory overhead. Our re-derived
+        // scheduler (the authors' RTL is unpublished) must land within
+        // 5 % and keep the overhead below 20 % of compute.
+        let (a, s) = operands(7);
+        let mut hw = LightweightMultiplier::new();
+        let _ = hw.multiply(&a, &s);
+        let total = hw.report().cycles.total();
+        assert!(
+            (total as f64 - 19_471.0).abs() / 19_471.0 < 0.05,
+            "total = {total}"
+        );
+        assert!(hw.report().cycles.overhead_ratio() < 0.20);
+    }
+
+    #[test]
+    fn cycle_count_is_operand_independent() {
+        // Constant-time property: the schedule never depends on data.
+        let mut totals = Vec::new();
+        for seed in [1u16, 2, 3] {
+            let (a, s) = operands(seed);
+            let mut hw = LightweightMultiplier::new();
+            let _ = hw.multiply(&a, &s);
+            totals.push(hw.report().cycles.total());
+        }
+        assert_eq!(totals[0], totals[1]);
+        assert_eq!(totals[1], totals[2]);
+    }
+
+    #[test]
+    fn area_matches_table1() {
+        // Table 1: 541 LUT, 301 FF, 0 DSP (±12 %).
+        let area = LightweightMultiplier::new().area();
+        assert_eq!(area.dsps, 0);
+        assert!(
+            (area.luts as f64 - 541.0).abs() / 541.0 < 0.12,
+            "LUTs = {}",
+            area.luts
+        );
+        assert!(
+            (area.ffs as f64 - 301.0).abs() / 301.0 < 0.12,
+            "FFs = {}",
+            area.ffs
+        );
+    }
+
+    #[test]
+    fn fits_the_small_artix7() {
+        let (a, s) = operands(5);
+        let mut hw = LightweightMultiplier::new();
+        let _ = hw.multiply(&a, &s);
+        let r = hw.report();
+        // §5.1: < 7 % of LUTs, < 2 % of FFs on the XC7A12TL.
+        assert!(r.lut_utilization() < 0.07);
+        assert!(r.ff_utilization() < 0.02);
+        assert!(r.fmax_mhz() >= 100.0);
+    }
+
+    #[test]
+    fn memory_activity_is_substantial() {
+        // The design trades buffer space for repeated reads; the BRAM
+        // traffic must reflect the accumulator streaming (≫ one read per
+        // coefficient).
+        let (a, s) = operands(9);
+        let mut hw = LightweightMultiplier::new();
+        let _ = hw.multiply(&a, &s);
+        let act = hw.report().activity.unwrap();
+        assert!(act.bram_reads > 16_000, "reads = {}", act.bram_reads);
+        assert!(act.bram_writes > 16_000, "writes = {}", act.bram_writes);
+    }
+
+    #[test]
+    fn extreme_operands() {
+        let a = PolyQ::from_fn(|_| 8191);
+        let s = SecretPoly::from_fn(|i| if i % 2 == 0 { 5 } else { -5 });
+        let mut hw = LightweightMultiplier::new();
+        assert_eq!(hw.multiply(&a, &s), schoolbook::mul_asym(&a, &s));
+        assert_eq!(
+            hw.multiply(&PolyQ::zero(), &SecretPoly::zero()),
+            PolyQ::zero()
+        );
+    }
+}

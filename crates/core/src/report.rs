@@ -1,0 +1,102 @@
+//! Architecture reports: the row of Table 1 each multiplier produces.
+
+use std::fmt;
+
+use saber_hw::platform::{CriticalPath, Fpga};
+use saber_hw::{Activity, Area, CycleReport};
+
+/// Everything Table 1 reports about one multiplier architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchitectureReport {
+    /// Architecture name (e.g. `"HS-I 256"`).
+    pub name: String,
+    /// Target platform.
+    pub fpga: Fpga,
+    /// Cycle accounting of the last (or a canonical) multiplication.
+    pub cycles: CycleReport,
+    /// Modeled area.
+    pub area: Area,
+    /// Longest-path depth for the frequency estimate.
+    pub critical_path: CriticalPath,
+    /// Accumulated activity (for power estimation), if the architecture
+    /// tracks it.
+    pub activity: Option<Activity>,
+}
+
+impl ArchitectureReport {
+    /// Estimated maximum clock frequency in MHz.
+    #[must_use]
+    pub fn fmax_mhz(&self) -> f64 {
+        self.critical_path.fmax_mhz(self.fpga)
+    }
+
+    /// LUT utilization as a fraction of the target device.
+    #[must_use]
+    pub fn lut_utilization(&self) -> f64 {
+        f64::from(self.area.luts) / f64::from(self.fpga.total_luts())
+    }
+
+    /// FF utilization as a fraction of the target device.
+    #[must_use]
+    pub fn ff_utilization(&self) -> f64 {
+        f64::from(self.area.ffs) / f64::from(self.fpga.total_ffs())
+    }
+
+    /// Whether the design fits the given device's LUT/FF/DSP budget —
+    /// the check behind the paper's platform assignments (LW on the
+    /// small Artix-7, the high-speed designs on the Ultrascale+).
+    #[must_use]
+    pub fn fits(&self, fpga: saber_hw::Fpga) -> bool {
+        self.area.luts <= fpga.total_luts()
+            && self.area.ffs <= fpga.total_ffs()
+            && self.area.dsps <= fpga.total_dsps()
+    }
+}
+
+impl fmt::Display for ArchitectureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} {:>7} cycles  {:>6} LUT  {:>6} FF  {:>4} DSP  ~{:.0} MHz ({})",
+            self.name,
+            self.cycles.total(),
+            self.area.luts,
+            self.area.ffs,
+            self.area.dsps,
+            self.fmax_mhz(),
+            self.fpga
+        )
+    }
+}
+
+/// Implemented by every cycle-accurate multiplier model in this crate, on
+/// top of the functional [`saber_ring::PolyMultiplier`] interface.
+pub trait HwMultiplier: saber_ring::PolyMultiplier {
+    /// The architecture's Table-1 row (cycle counts reflect the last
+    /// simulated multiplication; area/path are static properties).
+    fn report(&self) -> ArchitectureReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_key_figures() {
+        let report = ArchitectureReport {
+            name: "LW".into(),
+            fpga: Fpga::Artix7,
+            cycles: CycleReport {
+                compute_cycles: 16_384,
+                memory_overhead_cycles: 3_087,
+            },
+            area: Area::logic(541, 301),
+            critical_path: CriticalPath { logic_levels: 8 },
+            activity: None,
+        };
+        let s = report.to_string();
+        assert!(s.contains("19471"));
+        assert!(s.contains("541"));
+        assert!(report.lut_utilization() < 0.07);
+    }
+}

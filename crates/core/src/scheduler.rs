@@ -1,0 +1,216 @@
+//! Matrix–vector scheduling on a single high-speed multiplier.
+//!
+//! Saber's operations are matrix–vector products (`Aᵀ·s`, `A·s'`) and
+//! inner products (`bᵀ·s'`), not isolated multiplications. §2.2 of the
+//! paper notes the operand asymmetry that shapes the schedule ("it is in
+//! general more convenient to have the public polynomial being the first
+//! one and the secret polynomial being the second one because the
+//! smaller coefficients of the secret polynomial make it more efficient
+//! to store it in its entirety"), and Table 1 excludes the read-out
+//! overhead precisely because the accumulator stays resident across an
+//! inner product.
+//!
+//! This module extends that argument one level up, scheduling a whole
+//! `ℓ×ℓ` matrix–vector product with two operand-reuse strategies:
+//!
+//! * [`ScheduleStrategy::RowMajor`] — each output row is one resident
+//!   inner product; the secret vector is re-streamed for every row
+//!   (`ℓ²` secret loads, 1 accumulator);
+//! * [`ScheduleStrategy::SecretResident`] — the secret polynomial loads
+//!   once per column and is reused across all rows, at the price of `ℓ`
+//!   live accumulators (extra flip-flops).
+//!
+//! Both strategies produce bit-identical results; the trade-off is
+//! cycles vs area, quantified by [`MatrixVectorScheduler::schedule`].
+
+use saber_hw::{Area, CycleReport};
+use saber_ring::{PolyMatrix, PolyQ, PolyVec, SecretVec};
+
+use crate::engine::{self, MacStyle};
+
+/// Operand-reuse strategy for the matrix–vector schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleStrategy {
+    /// Row-by-row inner products; secret re-streamed per row.
+    RowMajor,
+    /// Column-by-column with the secret resident; `ℓ` accumulators.
+    SecretResident,
+}
+
+/// Cycle constants of the operand-load phases (see `engine` docs).
+const SECRET_LOAD: u64 = 16 + 1;
+const PUBLIC_PRELOAD: u64 = 13 + 1;
+const DRAIN: u64 = 52 + 2;
+
+/// A matrix–vector product scheduler over the HS-I engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixVectorScheduler {
+    /// MAC count of the underlying multiplier (256/512/1024).
+    pub macs: usize,
+    /// Operand-reuse strategy.
+    pub strategy: ScheduleStrategy,
+}
+
+/// The outcome of scheduling one matrix–vector product.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleOutcome {
+    /// The product vector (bit-exact).
+    pub product: PolyVec<13>,
+    /// Cycle accounting for the whole matrix–vector product.
+    pub cycles: CycleReport,
+    /// Extra area this strategy needs beyond the bare multiplier
+    /// (additional accumulator buffers).
+    pub extra_area: Area,
+}
+
+impl MatrixVectorScheduler {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macs` is not 256, 512 or 1024.
+    #[must_use]
+    pub fn new(macs: usize, strategy: ScheduleStrategy) -> Self {
+        assert!(matches!(macs, 256 | 512 | 1024), "256, 512 or 1024 MACs");
+        Self { macs, strategy }
+    }
+
+    /// Schedules `A·s` (or `Aᵀ·s` with `transpose`), returning the exact
+    /// product, the cycle count, and the strategy's extra area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() != matrix.rank()`.
+    #[must_use]
+    pub fn schedule(&self, matrix: &PolyMatrix, s: &SecretVec, transpose: bool) -> ScheduleOutcome {
+        let rank = matrix.rank();
+        assert_eq!(s.len(), rank, "vector length must equal matrix rank");
+        let per_mult_compute = (256 / (self.macs / 256)) as u64;
+
+        // Functional result (bit-exact, via the engine's verified
+        // datapath).
+        let mut rows = Vec::with_capacity(rank);
+        for row in 0..rank {
+            let mut acc = PolyQ::zero();
+            for col in 0..rank {
+                let a = if transpose {
+                    matrix.entry(col, row)
+                } else {
+                    matrix.entry(row, col)
+                };
+                let (product, _, _) =
+                    engine::simulate(a, &s[col], self.macs, MacStyle::Centralized);
+                acc += &product;
+            }
+            rows.push(acc);
+        }
+
+        let terms = (rank * rank) as u64;
+        let compute = terms * per_mult_compute;
+        let (memory, extra_area) = match self.strategy {
+            ScheduleStrategy::RowMajor => {
+                // Every term loads its secret and public operand; one
+                // drain per output row.
+                let memory = terms * (SECRET_LOAD + PUBLIC_PRELOAD) + rank as u64 * DRAIN;
+                (memory, Area::zero())
+            }
+            ScheduleStrategy::SecretResident => {
+                // One secret load per column, one public preload per
+                // term, one drain per row; ℓ−1 extra accumulators.
+                let memory =
+                    rank as u64 * SECRET_LOAD + terms * PUBLIC_PRELOAD + rank as u64 * DRAIN;
+                let extra = Area::ffs((rank as u32 - 1) * 3_328);
+                (memory, extra)
+            }
+        };
+
+        ScheduleOutcome {
+            product: PolyVec::from_polys(rows),
+            cycles: CycleReport {
+                compute_cycles: compute,
+                memory_overhead_cycles: memory,
+            },
+            extra_area,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saber_ring::mul::SchoolbookMultiplier;
+    use saber_ring::SecretPoly;
+
+    fn fixture(rank: usize) -> (PolyMatrix, SecretVec) {
+        let entries = (0..rank * rank)
+            .map(|e| PolyQ::from_fn(|i| (i as u16).wrapping_mul(17 + e as u16) & 0x1fff))
+            .collect();
+        let s = SecretVec::from_polys(
+            (0..rank)
+                .map(|k| SecretPoly::from_fn(|i| ((((i + k) * 5) % 9) as i8) - 4))
+                .collect(),
+        );
+        (PolyMatrix::from_entries(rank, entries), s)
+    }
+
+    #[test]
+    fn both_strategies_match_the_software_path() {
+        let (a, s) = fixture(3);
+        let mut oracle = SchoolbookMultiplier;
+        let expected = a.mul_vec(&s, &mut oracle);
+        for strategy in [ScheduleStrategy::RowMajor, ScheduleStrategy::SecretResident] {
+            let scheduler = MatrixVectorScheduler::new(256, strategy);
+            let outcome = scheduler.schedule(&a, &s, false);
+            assert_eq!(outcome.product, expected, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn transpose_matches_software_path() {
+        let (a, s) = fixture(2);
+        let mut oracle = SchoolbookMultiplier;
+        let expected = a.mul_vec_transposed(&s, &mut oracle);
+        let scheduler = MatrixVectorScheduler::new(512, ScheduleStrategy::RowMajor);
+        assert_eq!(scheduler.schedule(&a, &s, true).product, expected);
+    }
+
+    #[test]
+    fn secret_residency_saves_cycles_and_costs_ffs() {
+        let (a, s) = fixture(3);
+        let row =
+            MatrixVectorScheduler::new(256, ScheduleStrategy::RowMajor).schedule(&a, &s, false);
+        let resident = MatrixVectorScheduler::new(256, ScheduleStrategy::SecretResident)
+            .schedule(&a, &s, false);
+        assert_eq!(row.product, resident.product);
+        assert!(
+            resident.cycles.total() < row.cycles.total(),
+            "{} vs {}",
+            resident.cycles.total(),
+            row.cycles.total()
+        );
+        // Saves exactly (ℓ² − ℓ) secret loads.
+        assert_eq!(
+            row.cycles.total() - resident.cycles.total(),
+            (9 - 3) * SECRET_LOAD
+        );
+        assert_eq!(resident.extra_area.ffs, 2 * 3_328);
+        assert_eq!(row.extra_area, Area::zero());
+    }
+
+    #[test]
+    fn compute_cycles_scale_with_rank_and_macs() {
+        let (a2, s2) = fixture(2);
+        let out =
+            MatrixVectorScheduler::new(512, ScheduleStrategy::RowMajor).schedule(&a2, &s2, false);
+        assert_eq!(out.cycles.compute_cycles, 4 * 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal matrix rank")]
+    fn rank_mismatch_panics() {
+        let (a, _) = fixture(2);
+        let (_, s3) = fixture(3);
+        let _ =
+            MatrixVectorScheduler::new(256, ScheduleStrategy::RowMajor).schedule(&a, &s3, false);
+    }
+}

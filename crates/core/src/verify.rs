@@ -1,0 +1,165 @@
+//! Verification utilities: oracle cross-checking and constant-schedule
+//! auditing for any architecture model.
+//!
+//! These helpers power the test suite and the `saber-sim` CLI, and give
+//! downstream users a one-call way to validate a modified or new
+//! architecture against the schoolbook ground truth and the paper's
+//! constant-time claim (§3.1: the optimized designs "do not offer any
+//! additional attack surface").
+
+use saber_hw::CycleReport;
+use saber_ring::{schoolbook, PolyQ, SecretPoly};
+
+use crate::report::HwMultiplier;
+
+/// Outcome of an oracle cross-check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleCheck {
+    /// Number of operand pairs checked.
+    pub cases: usize,
+    /// Indices of mismatching cases (empty = pass).
+    pub mismatches: Vec<usize>,
+}
+
+impl OracleCheck {
+    /// Whether every case matched the oracle.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Multiplies every operand pair on `hw` and compares against the
+/// schoolbook oracle.
+#[must_use]
+pub fn check_against_oracle(
+    hw: &mut dyn HwMultiplier,
+    operands: &[(PolyQ, SecretPoly)],
+) -> OracleCheck {
+    let mismatches = operands
+        .iter()
+        .enumerate()
+        .filter(|(_, (a, s))| hw.multiply(a, s) != schoolbook::mul_asym(a, s))
+        .map(|(i, _)| i)
+        .collect();
+    OracleCheck {
+        cases: operands.len(),
+        mismatches,
+    }
+}
+
+/// Outcome of a constant-schedule audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleAudit {
+    /// The schedule every case produced (when constant).
+    pub schedule: CycleReport,
+    /// Case indices whose cycle accounting deviated (empty = constant).
+    pub deviations: Vec<usize>,
+}
+
+impl ScheduleAudit {
+    /// Whether the schedule was identical for every case.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.deviations.is_empty()
+    }
+}
+
+/// Runs every operand pair and audits that the cycle accounting never
+/// depends on the data (the architectural constant-time property).
+///
+/// # Panics
+///
+/// Panics if `operands` is empty.
+#[must_use]
+pub fn audit_constant_schedule(
+    hw: &mut dyn HwMultiplier,
+    operands: &[(PolyQ, SecretPoly)],
+) -> ScheduleAudit {
+    assert!(!operands.is_empty(), "audit needs at least one case");
+    let mut deviations = Vec::new();
+    let mut reference: Option<CycleReport> = None;
+    for (i, (a, s)) in operands.iter().enumerate() {
+        let _ = hw.multiply(a, s);
+        let cycles = hw.report().cycles;
+        match reference {
+            None => reference = Some(cycles),
+            Some(r) if r != cycles => deviations.push(i),
+            Some(_) => {}
+        }
+    }
+    ScheduleAudit {
+        schedule: reference.expect("at least one case ran"),
+        deviations,
+    }
+}
+
+/// A standard battery of adversarial operand pairs (max magnitudes,
+/// wraparound monomials, alternating signs, zeros) bounded to |s| ≤
+/// `secret_bound`.
+#[must_use]
+pub fn adversarial_battery(secret_bound: i8) -> Vec<(PolyQ, SecretPoly)> {
+    let b = secret_bound;
+    vec![
+        (PolyQ::zero(), SecretPoly::zero()),
+        (PolyQ::from_fn(|_| 8191), SecretPoly::from_fn(|_| b)),
+        (PolyQ::from_fn(|_| 8191), SecretPoly::from_fn(|_| -b)),
+        (
+            PolyQ::from_fn(|i| if i == 255 { 8191 } else { 0 }),
+            SecretPoly::from_fn(|i| if i == 255 { -b } else { 0 }),
+        ),
+        (
+            PolyQ::from_fn(|i| if i % 2 == 0 { 8191 } else { 1 }),
+            SecretPoly::from_fn(|i| if i % 2 == 0 { b } else { -b }),
+        ),
+        (
+            PolyQ::from_fn(|i| (i as u16).wrapping_mul(40_503) & 0x1fff),
+            SecretPoly::from_fn(|i| (((i * 7) % (2 * b as usize + 1)) as i8) - b),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centralized::CentralizedMultiplier;
+    use crate::dsp_packed::DspPackedMultiplier;
+    use crate::lightweight::LightweightMultiplier;
+
+    #[test]
+    fn battery_passes_on_every_architecture() {
+        let saber_battery = adversarial_battery(4);
+        let light_battery = adversarial_battery(5);
+        let mut hs1 = CentralizedMultiplier::new(256);
+        assert!(check_against_oracle(&mut hs1, &light_battery).passed());
+        let mut hs2 = DspPackedMultiplier::new();
+        assert!(check_against_oracle(&mut hs2, &saber_battery).passed());
+        let mut lw = LightweightMultiplier::new();
+        assert!(check_against_oracle(&mut lw, &light_battery).passed());
+    }
+
+    #[test]
+    fn schedules_audit_constant() {
+        let battery = adversarial_battery(4);
+        let mut hs2 = DspPackedMultiplier::new();
+        let audit = audit_constant_schedule(&mut hs2, &battery);
+        assert!(audit.is_constant(), "deviations: {:?}", audit.deviations);
+        assert_eq!(audit.schedule.compute_cycles, 131);
+    }
+
+    #[test]
+    fn oracle_check_reports_counts() {
+        let battery = adversarial_battery(3);
+        let mut lw = LightweightMultiplier::new();
+        let check = check_against_oracle(&mut lw, &battery);
+        assert_eq!(check.cases, battery.len());
+        assert!(check.passed());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one case")]
+    fn empty_audit_panics() {
+        let mut hs1 = CentralizedMultiplier::new(256);
+        let _ = audit_constant_schedule(&mut hs1, &[]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests across the architecture models: oracle
+//! agreement on adversarial distributions, data-independent schedules,
+//! and inner-product/scheduler algebra.
+
+use proptest::prelude::*;
+use saber_core::{
+    CentralizedMultiplier, DspPackedMultiplier, HwMultiplier, LightweightMultiplier,
+    MatrixVectorScheduler, ScheduleStrategy,
+};
+use saber_ring::mul::SchoolbookMultiplier;
+use saber_ring::{schoolbook, PolyMatrix, PolyMultiplier, PolyQ, SecretPoly, SecretVec};
+
+fn arb_poly() -> impl Strategy<Value = PolyQ> {
+    proptest::collection::vec(0u16..8192, 256).prop_map(|v| PolyQ::from_fn(|i| v[i]))
+}
+
+/// Sparse polynomials stress the wrap/sign paths differently from dense
+/// ones.
+fn arb_sparse_poly() -> impl Strategy<Value = PolyQ> {
+    proptest::collection::vec((0usize..256, 0u16..8192), 0..8).prop_map(|points| {
+        let mut p = PolyQ::zero();
+        for (i, v) in points {
+            p.set_coeff(i, v);
+        }
+        p
+    })
+}
+
+fn arb_secret(bound: i8) -> impl Strategy<Value = SecretPoly> {
+    proptest::collection::vec(-bound..=bound, 256).prop_map(|v| SecretPoly::from_fn(|i| v[i]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn hs2_agrees_on_sparse_adversaries(a in arb_sparse_poly(), s in arb_secret(4)) {
+        let mut hw = DspPackedMultiplier::new();
+        prop_assert_eq!(hw.multiply(&a, &s), schoolbook::mul_asym(&a, &s));
+    }
+
+    #[test]
+    fn lw_agrees_on_sparse_adversaries(a in arb_sparse_poly(), s in arb_secret(5)) {
+        let mut hw = LightweightMultiplier::new();
+        prop_assert_eq!(hw.multiply(&a, &s), schoolbook::mul_asym(&a, &s));
+    }
+
+    #[test]
+    fn schedules_are_data_independent(a in arb_poly(), s in arb_secret(4)) {
+        // Constant-time property: the cycle count must not depend on the
+        // operand values for any architecture.
+        let reference = {
+            let mut hw = DspPackedMultiplier::new();
+            let _ = hw.multiply(&PolyQ::zero(), &SecretPoly::zero());
+            hw.report().cycles
+        };
+        let mut hw = DspPackedMultiplier::new();
+        let _ = hw.multiply(&a, &s);
+        prop_assert_eq!(hw.report().cycles, reference);
+
+        let lw_reference = {
+            let mut hw = LightweightMultiplier::new();
+            let _ = hw.multiply(&PolyQ::zero(), &SecretPoly::zero());
+            hw.report().cycles
+        };
+        let mut lw = LightweightMultiplier::new();
+        let _ = lw.multiply(&a, &s);
+        prop_assert_eq!(lw.report().cycles, lw_reference);
+    }
+
+    #[test]
+    fn inner_product_equals_sum_of_products(
+        a0 in arb_poly(), a1 in arb_poly(),
+        s0 in arb_secret(5), s1 in arb_secret(5),
+    ) {
+        let mut hw = CentralizedMultiplier::new(512);
+        let (sum, _) = hw.inner_product(&[(a0.clone(), s0.clone()), (a1.clone(), s1.clone())]);
+        let expected = &schoolbook::mul_asym(&a0, &s0) + &schoolbook::mul_asym(&a1, &s1);
+        prop_assert_eq!(sum, expected);
+    }
+
+    #[test]
+    fn scheduler_matches_software_matvec(
+        entries in proptest::collection::vec(arb_poly(), 4),
+        secrets in proptest::collection::vec(arb_secret(4), 2),
+        transpose in any::<bool>(),
+    ) {
+        let matrix = PolyMatrix::from_entries(2, entries);
+        let s = SecretVec::from_polys(secrets);
+        let mut oracle = SchoolbookMultiplier;
+        let expected = if transpose {
+            matrix.mul_vec_transposed(&s, &mut oracle)
+        } else {
+            matrix.mul_vec(&s, &mut oracle)
+        };
+        for strategy in [ScheduleStrategy::RowMajor, ScheduleStrategy::SecretResident] {
+            let outcome = MatrixVectorScheduler::new(512, strategy)
+                .schedule(&matrix, &s, transpose);
+            prop_assert_eq!(&outcome.product, &expected, "{:?}", strategy);
+        }
+    }
+}
+
+#[test]
+fn negacyclic_boundary_battery() {
+    // Targeted wraparound cases for every architecture: monomials at the
+    // very top of the ring interacting with top secret positions.
+    let mut cases = Vec::new();
+    for ai in [0usize, 1, 254, 255] {
+        for si in [0usize, 1, 254, 255] {
+            let mut a = PolyQ::zero();
+            a.set_coeff(ai, 8191);
+            let s = SecretPoly::from_fn(|k| if k == si { -4 } else { 0 });
+            cases.push((a, s));
+        }
+    }
+    for (a, s) in &cases {
+        let expected = schoolbook::mul_asym(a, s);
+        assert_eq!(
+            DspPackedMultiplier::new().multiply(a, s),
+            expected,
+            "HS-II boundary"
+        );
+        assert_eq!(
+            LightweightMultiplier::new().multiply(a, s),
+            expected,
+            "LW boundary"
+        );
+        assert_eq!(
+            CentralizedMultiplier::new(1024).multiply(a, s),
+            expected,
+            "HS-I 1024 boundary"
+        );
+    }
+}
+
+#[test]
+fn hs1_1024_reaches_64_cycles() {
+    // §3.1's scaling argument, one step beyond the paper's tables.
+    let a = PolyQ::from_fn(|i| i as u16);
+    let s = SecretPoly::from_fn(|i| ((i % 9) as i8) - 4);
+    let mut hw = CentralizedMultiplier::new(1024);
+    let _ = hw.multiply(&a, &s);
+    assert_eq!(hw.report().cycles.compute_cycles, 64);
+    // Area roughly doubles vs 512 — the trade continues linearly.
+    let lut_512 = CentralizedMultiplier::new(512).area().luts as f64;
+    let lut_1024 = hw.area().luts as f64;
+    assert!((lut_1024 / lut_512 - 2.0).abs() < 0.2);
+}

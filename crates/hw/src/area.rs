@@ -1,0 +1,235 @@
+//! Analytical FPGA area model.
+//!
+//! The paper reports post-synthesis LUT/FF/DSP counts from Vivado; this
+//! workspace has no synthesis tool, so each architecture instead
+//! *inventories its components* and costs them with standard 6-input-LUT
+//! mapping rules (see DESIGN.md §2 for why this substitution preserves
+//! the paper's claims, which are about *which logic was removed*):
+//!
+//! | primitive | LUTs | rationale |
+//! |---|---|---|
+//! | `n`-bit adder / subtractor | `n` | one LUT + carry-chain bit per output |
+//! | `n`-bit 3-input adder | `2n` | two stacked carry chains (no ternary-add fabric) |
+//! | `n`-bit 2:1 mux | `⌈n/2⌉` | dual-output fractured LUT, shared select |
+//! | `n`-bit 4:1 mux | `n` | 6 inputs per output bit |
+//! | `n`-bit 5:1..8:1 mux | `2n` | two LUTs + F7/F8 mux per bit |
+//! | `n`-bit conditional negate | `n` | XOR + carry-in increment |
+//! | register | 0 LUT, `n` FF | |
+//!
+//! Totals are estimates; the benches print them side-by-side with the
+//! paper's synthesis numbers and EXPERIMENTS.md records the deviation.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// FPGA resource usage: look-up tables, flip-flops, DSP slices and
+/// 36Kb block RAMs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Area {
+    /// 6-input look-up tables.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// DSP48-class slices.
+    pub dsps: u32,
+    /// 36Kb block RAMs.
+    pub brams: u32,
+}
+
+impl Area {
+    /// The zero area.
+    #[must_use]
+    pub const fn zero() -> Self {
+        Self {
+            luts: 0,
+            ffs: 0,
+            dsps: 0,
+            brams: 0,
+        }
+    }
+
+    /// Pure-LUT area.
+    #[must_use]
+    pub const fn luts(luts: u32) -> Self {
+        Self {
+            luts,
+            ffs: 0,
+            dsps: 0,
+            brams: 0,
+        }
+    }
+
+    /// Pure-FF area.
+    #[must_use]
+    pub const fn ffs(ffs: u32) -> Self {
+        Self {
+            luts: 0,
+            ffs,
+            dsps: 0,
+            brams: 0,
+        }
+    }
+
+    /// Combined LUT + FF area.
+    #[must_use]
+    pub const fn logic(luts: u32, ffs: u32) -> Self {
+        Self {
+            luts,
+            ffs,
+            dsps: 0,
+            brams: 0,
+        }
+    }
+
+    /// One DSP slice.
+    #[must_use]
+    pub const fn dsp() -> Self {
+        Self {
+            luts: 0,
+            ffs: 0,
+            dsps: 1,
+            brams: 0,
+        }
+    }
+}
+
+impl Add for Area {
+    type Output = Area;
+
+    fn add(self, rhs: Area) -> Area {
+        Area {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            dsps: self.dsps + rhs.dsps,
+            brams: self.brams + rhs.brams,
+        }
+    }
+}
+
+impl AddAssign for Area {
+    fn add_assign(&mut self, rhs: Area) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u32> for Area {
+    type Output = Area;
+
+    /// Replicates a component `rhs` times.
+    fn mul(self, rhs: u32) -> Area {
+        Area {
+            luts: self.luts * rhs,
+            ffs: self.ffs * rhs,
+            dsps: self.dsps * rhs,
+            brams: self.brams * rhs,
+        }
+    }
+}
+
+impl Sum for Area {
+    fn sum<I: Iterator<Item = Area>>(iter: I) -> Area {
+        iter.fold(Area::zero(), Add::add)
+    }
+}
+
+/// `n`-bit two-input adder or subtractor (carry chain: one LUT per bit).
+#[must_use]
+pub const fn adder(bits: u32) -> Area {
+    Area::luts(bits)
+}
+
+/// `n`-bit three-input adder (two stacked carry chains).
+#[must_use]
+pub const fn adder3(bits: u32) -> Area {
+    Area::luts(2 * bits)
+}
+
+/// `n`-bit `inputs`:1 multiplexer.
+///
+/// # Panics
+///
+/// Panics if `inputs < 2` or `inputs > 16`.
+#[must_use]
+pub fn mux(inputs: u32, bits: u32) -> Area {
+    assert!((2..=16).contains(&inputs), "mux fan-in out of range");
+    let luts_per_bit = match inputs {
+        2 => return Area::luts(bits.div_ceil(2)),
+        3 | 4 => 1,
+        5..=8 => 2,
+        _ => 4,
+    };
+    Area::luts(luts_per_bit * bits)
+}
+
+/// `n`-bit conditional two's-complement negation (XOR stage + carry-in).
+#[must_use]
+pub const fn conditional_negate(bits: u32) -> Area {
+    Area::luts(bits)
+}
+
+/// `n`-bit register.
+#[must_use]
+pub const fn register(bits: u32) -> Area {
+    Area::ffs(bits)
+}
+
+/// The Algorithm-2 shift-and-add coefficient multiplier: precomputes
+/// `{0, a, 2a, 3a, 4a, 5a}` via shifts and one adder, then selects.
+///
+/// `3a` needs a 13+14-bit add; the 5-or-6-way selector costs 2 LUT/bit.
+#[must_use]
+pub fn shift_add_multiplier(bits: u32) -> Area {
+    adder(bits + 1) + mux(6, bits)
+}
+
+/// The multiple-selector left in each MAC after the HS-I centralization:
+/// only the `{0, a, 2a, 3a, 4a(,5a)}` mux remains.
+#[must_use]
+pub fn multiple_selector(bits: u32) -> Area {
+    mux(6, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_composition() {
+        let a = Area::logic(10, 5) + Area::dsp();
+        assert_eq!(a.luts, 10);
+        assert_eq!(a.dsps, 1);
+        let doubled = a * 2;
+        assert_eq!(doubled.ffs, 10);
+        assert_eq!(doubled.dsps, 2);
+    }
+
+    #[test]
+    fn sum_over_components() {
+        let total: Area = [adder(13), register(13), mux(4, 13)].into_iter().sum();
+        assert_eq!(total.luts, 13 + 13);
+        assert_eq!(total.ffs, 13);
+    }
+
+    #[test]
+    fn mux_cost_grows_with_fanin() {
+        assert_eq!(mux(2, 13).luts, 7);
+        assert_eq!(mux(4, 13).luts, 13);
+        assert_eq!(mux(5, 13).luts, 26);
+        assert_eq!(mux(16, 13).luts, 52);
+    }
+
+    #[test]
+    fn centralization_shrinks_the_mac() {
+        // The HS-I insight: selector-only MAC is much smaller than a MAC
+        // with its own shift-add multiplier.
+        let baseline_mac = shift_add_multiplier(13) + adder(13);
+        let centralized_mac = multiple_selector(13) + adder(13);
+        assert!(centralized_mac.luts < baseline_mac.luts);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in out of range")]
+    fn absurd_mux_panics() {
+        let _ = mux(99, 13);
+    }
+}

@@ -1,0 +1,255 @@
+//! A cycle-accurate DSP48E2 slice model.
+//!
+//! Modern Xilinx Ultrascale+ DSP slices compute `P = A × B + C` with a
+//! **27×18-bit signed** multiplier and a 48-bit post-adder, behind a
+//! configurable pipeline (§3.2 of the paper uses the standard 3-stage
+//! A/B → M → P register chain, which is where HS-II's 131 = 128 + 3
+//! cycle count comes from). For unsigned operands the usable widths drop
+//! to **26×17** — the constraint that forces HS-II's `A = a + a'·2^26`,
+//! `S = s + s'·2^17` split.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Signed operand width of port A.
+pub const A_WIDTH: u32 = 27;
+/// Signed operand width of port B.
+pub const B_WIDTH: u32 = 18;
+/// Width of the C port, the post-adder and the P output.
+pub const P_WIDTH: u32 = 48;
+/// Usable width of port A for unsigned operands.
+pub const A_UNSIGNED_WIDTH: u32 = A_WIDTH - 1;
+/// Usable width of port B for unsigned operands.
+pub const B_UNSIGNED_WIDTH: u32 = B_WIDTH - 1;
+
+/// Error returned when an operand does not fit its port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperandWidthError {
+    /// The port name (`"A"`, `"B"` or `"C"`).
+    pub port: &'static str,
+    /// The offending value.
+    pub value: i64,
+    /// The port's signed bit width.
+    pub width: u32,
+}
+
+impl fmt::Display for OperandWidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "operand {} does not fit signed {}-bit DSP port {}",
+            self.value, self.width, self.port
+        )
+    }
+}
+
+impl std::error::Error for OperandWidthError {}
+
+fn fits_signed(value: i64, width: u32) -> bool {
+    let bound = 1i64 << (width - 1);
+    (-bound..bound).contains(&value)
+}
+
+/// One in-flight DSP operation.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    a: i64,
+    b: i64,
+    c: i64,
+}
+
+/// A pipelined DSP48E2 slice.
+///
+/// # Examples
+///
+/// ```
+/// use saber_hw::dsp::Dsp48;
+///
+/// let mut dsp = Dsp48::new(3);
+/// dsp.issue(1000, 200, 5)?;
+/// for _ in 0..3 {
+///     assert_eq!(dsp.output(), None); // still in the pipeline
+///     dsp.tick();
+/// }
+/// assert_eq!(dsp.output(), Some(1000 * 200 + 5));
+/// # Ok::<(), saber_hw::dsp::OperandWidthError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dsp48 {
+    latency: usize,
+    /// Slot `0` is the oldest stage; `None` is a bubble.
+    pipeline: VecDeque<Option<Op>>,
+    output: Option<i64>,
+    issued: u64,
+}
+
+impl Dsp48 {
+    /// Creates a slice with the given pipeline `latency` (1..=4; the
+    /// full-speed configuration is 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is 0 or greater than 4.
+    #[must_use]
+    pub fn new(latency: usize) -> Self {
+        assert!((1..=4).contains(&latency), "DSP latency out of range");
+        Self {
+            latency,
+            pipeline: VecDeque::from(vec![None; latency]),
+            output: None,
+            issued: 0,
+        }
+    }
+
+    /// Pipeline depth.
+    #[must_use]
+    pub fn latency(&self) -> usize {
+        self.latency
+    }
+
+    /// Total operations issued (the activity input of the power model).
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Presents operands for the current cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OperandWidthError`] if `a`, `b` or `c` exceeds its port
+    /// width — exactly the check that makes the HS-II packing proofs
+    /// meaningful (a 28-bit packed operand *must* be split before it can
+    /// enter the slice).
+    pub fn issue(&mut self, a: i64, b: i64, c: i64) -> Result<(), OperandWidthError> {
+        if !fits_signed(a, A_WIDTH) {
+            return Err(OperandWidthError {
+                port: "A",
+                value: a,
+                width: A_WIDTH,
+            });
+        }
+        if !fits_signed(b, B_WIDTH) {
+            return Err(OperandWidthError {
+                port: "B",
+                value: b,
+                width: B_WIDTH,
+            });
+        }
+        if !fits_signed(c, P_WIDTH) {
+            return Err(OperandWidthError {
+                port: "C",
+                value: c,
+                width: P_WIDTH,
+            });
+        }
+        let back = self
+            .pipeline
+            .back_mut()
+            .expect("pipeline always has `latency` slots");
+        assert!(back.is_none(), "operands already issued this cycle");
+        *back = Some(Op { a, b, c });
+        self.issued += 1;
+        Ok(())
+    }
+
+    /// Advances one clock edge.
+    pub fn tick(&mut self) {
+        if let Some(Some(op)) = self.pipeline.pop_front() {
+            // The P register is 48 bits; wrap like the silicon does.
+            let wide = i128::from(op.a) * i128::from(op.b) + i128::from(op.c);
+            let mask = (1i128 << P_WIDTH) - 1;
+            let wrapped = wide & mask;
+            // Sign-extend from 48 bits.
+            let result = if wrapped >= (1i128 << (P_WIDTH - 1)) {
+                wrapped - (1i128 << P_WIDTH)
+            } else {
+                wrapped
+            };
+            self.output = Some(result as i64);
+        } else {
+            self.output = None;
+        }
+        self.pipeline.push_back(None);
+    }
+
+    /// The result that emerged from the pipeline at the last tick, if
+    /// any.
+    #[must_use]
+    pub fn output(&self) -> Option<i64> {
+        self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelined_results_emerge_in_order() {
+        let mut dsp = Dsp48::new(3);
+        let inputs = [(3i64, 4i64, 1i64), (-5, 7, 0), (100, -2, 50)];
+        let mut outputs = Vec::new();
+        for cycle in 0..6 {
+            if cycle < inputs.len() {
+                let (a, b, c) = inputs[cycle];
+                dsp.issue(a, b, c).unwrap();
+            }
+            dsp.tick();
+            if let Some(p) = dsp.output() {
+                outputs.push(p);
+            }
+        }
+        assert_eq!(outputs, vec![13, -35, -150]);
+        assert_eq!(dsp.issued(), 3);
+    }
+
+    #[test]
+    fn bubbles_produce_no_output() {
+        let mut dsp = Dsp48::new(2);
+        dsp.issue(1, 1, 0).unwrap();
+        dsp.tick();
+        assert_eq!(dsp.output(), None);
+        dsp.tick();
+        assert_eq!(dsp.output(), Some(1));
+        dsp.tick(); // no new issue
+        assert_eq!(dsp.output(), None);
+    }
+
+    #[test]
+    fn operand_width_enforced() {
+        let mut dsp = Dsp48::new(3);
+        // 2^26 does not fit signed 27-bit? It does: range is [-2^26, 2^26).
+        assert!(dsp.issue((1 << 26) - 1, 0, 0).is_ok());
+        let err = dsp.issue(1 << 26, 0, 0).unwrap_err();
+        assert_eq!(err.port, "A");
+        assert!(err.to_string().contains("27-bit"));
+        let mut dsp2 = Dsp48::new(3);
+        assert!(dsp2.issue(0, 1 << 17, 0).is_err());
+        assert!(dsp2.issue(0, (1 << 17) - 1, 0).is_ok());
+    }
+
+    #[test]
+    fn unsigned_widths_are_one_bit_narrower() {
+        assert_eq!(A_UNSIGNED_WIDTH, 26);
+        assert_eq!(B_UNSIGNED_WIDTH, 17);
+    }
+
+    #[test]
+    fn p_register_wraps_at_48_bits() {
+        let mut dsp = Dsp48::new(1);
+        // (2^26 − 1) · (2^17 − 1) fits easily; force wrap via C.
+        dsp.issue(1, 1, (1 << 47) - 1).unwrap();
+        dsp.tick();
+        // 2^47 wraps to −2^47.
+        assert_eq!(dsp.output(), Some(-(1i64 << 47)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already issued")]
+    fn double_issue_panics() {
+        let mut dsp = Dsp48::new(3);
+        dsp.issue(1, 1, 0).unwrap();
+        let _ = dsp.issue(2, 2, 0);
+    }
+}

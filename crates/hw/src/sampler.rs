@@ -1,0 +1,195 @@
+//! A cycle-accurate centered-binomial sampler core.
+//!
+//! The Saber coprocessor feeds SHAKE output through a `β_µ` sampler that
+//! emits secret coefficients: each coefficient consumes `µ` bits and is
+//! `popcount(first µ/2) − popcount(last µ/2)`. This model consumes one
+//! 64-bit bus word per cycle and emits every coefficient completed by
+//! that word, so throughput and the cost-model's sampling segment can be
+//! validated (µ = 8 ⇒ 8 coefficients per word per cycle; µ = 10 ⇒ 6.4).
+
+use crate::area::{self, Area};
+
+/// A `β_µ` sampler with a 64-bit input bus.
+///
+/// # Examples
+///
+/// ```
+/// use saber_hw::sampler::SamplerCore;
+///
+/// let mut sampler = SamplerCore::new(8);
+/// let coeffs = sampler.push_word(0x00ff_00ff_00ff_00ff);
+/// assert_eq!(coeffs.len(), 8);
+/// assert!(coeffs.iter().all(|&c| c.abs() <= 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SamplerCore {
+    mu: u32,
+    buffer: u128,
+    buffered_bits: u32,
+    cycles: u64,
+    emitted: u64,
+}
+
+impl SamplerCore {
+    /// Creates a sampler for the binomial parameter `µ` (even, ≤ 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `µ` is odd, zero, or above 16.
+    #[must_use]
+    pub fn new(mu: u32) -> Self {
+        assert!(
+            mu > 0 && mu <= 16 && mu.is_multiple_of(2),
+            "µ must be even and ≤ 16"
+        );
+        Self {
+            mu,
+            buffer: 0,
+            buffered_bits: 0,
+            cycles: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Cycles consumed (one per bus word).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Coefficients emitted so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Feeds one 64-bit word (one cycle) and returns the coefficients it
+    /// completes.
+    pub fn push_word(&mut self, word: u64) -> Vec<i8> {
+        self.cycles += 1;
+        self.buffer |= u128::from(word) << self.buffered_bits;
+        self.buffered_bits += 64;
+        let mut out = Vec::with_capacity((self.buffered_bits / self.mu) as usize);
+        while self.buffered_bits >= self.mu {
+            let half = self.mu / 2;
+            let a = (self.buffer & ((1 << half) - 1)).count_ones() as i8;
+            self.buffer >>= half;
+            let b = (self.buffer & ((1 << half) - 1)).count_ones() as i8;
+            self.buffer >>= half;
+            self.buffered_bits -= self.mu;
+            out.push(a - b);
+            self.emitted += 1;
+        }
+        out
+    }
+
+    /// Expected coefficients per cycle at full bus utilization.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        64.0 / f64::from(self.mu)
+    }
+
+    /// Area inventory: the bit buffer, two popcount trees of `µ/2` bits,
+    /// and a subtractor.
+    #[must_use]
+    pub fn area(&self) -> Area {
+        area::register(128) + Area::luts(2 * self.mu.div_ceil(2)) + area::adder(4) + Area::luts(24)
+        // shift/steering control
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Software reference: β_µ from a little-endian bitstream.
+    fn reference_cbd(bits: &[u8], mu: u32, count: usize) -> Vec<i8> {
+        let bit = |i: usize| (bits[i / 8] >> (i % 8)) & 1;
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        for _ in 0..count {
+            let half = (mu / 2) as usize;
+            let mut a = 0i8;
+            for _ in 0..half {
+                a += bit(pos) as i8;
+                pos += 1;
+            }
+            let mut b = 0i8;
+            for _ in 0..half {
+                b += bit(pos) as i8;
+                pos += 1;
+            }
+            out.push(a - b);
+        }
+        out
+    }
+
+    #[test]
+    fn matches_reference_for_all_saber_mus() {
+        let words: Vec<u64> = (0..40u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(i as u32))
+            .collect();
+        let mut bytes = Vec::new();
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        for mu in [6u32, 8, 10] {
+            let mut sampler = SamplerCore::new(mu);
+            let mut hw_out = Vec::new();
+            for &w in &words {
+                hw_out.extend(sampler.push_word(w));
+            }
+            let expected = reference_cbd(&bytes, mu, hw_out.len());
+            assert_eq!(hw_out, expected, "µ = {mu}");
+            assert!(hw_out.iter().all(|c| c.abs() <= (mu / 2) as i8));
+        }
+    }
+
+    #[test]
+    fn throughput_and_cycles() {
+        let mut sampler = SamplerCore::new(8);
+        for _ in 0..32 {
+            let _ = sampler.push_word(0);
+        }
+        assert_eq!(sampler.cycles(), 32);
+        assert_eq!(sampler.emitted(), 32 * 8); // one poly per 32 words
+        assert_eq!(sampler.throughput(), 8.0);
+        // µ = 10 (LightSaber): fractional throughput, bits carried over.
+        let mut ls = SamplerCore::new(10);
+        let mut total = 0;
+        for _ in 0..5 {
+            total += ls.push_word(u64::MAX).len();
+        }
+        assert_eq!(total, 32); // 320 bits / 10
+    }
+
+    #[test]
+    fn distribution_is_centered() {
+        let mut sampler = SamplerCore::new(8);
+        let mut sum = 0i64;
+        let mut n = 0i64;
+        for i in 0..500u64 {
+            for c in sampler.push_word(i.wrapping_mul(0x2545_f491_4f6c_dd1d)) {
+                sum += i64::from(c);
+                n += 1;
+            }
+        }
+        assert!(n > 3_000);
+        assert!(
+            sum.abs() < n / 10,
+            "biased sampler: mean = {}",
+            sum as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn area_is_tiny() {
+        assert!(SamplerCore::new(8).area().luts < 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "even and ≤ 16")]
+    fn odd_mu_rejected() {
+        let _ = SamplerCore::new(7);
+    }
+}

@@ -1,0 +1,169 @@
+//! A lightweight signal tracer (VCD-style) for debugging the clocked
+//! models.
+//!
+//! Architectures can record named signal changes per cycle; the trace
+//! can be queried in tests ("when did the write port go idle?") or
+//! dumped in the standard Value-Change-Dump format for external
+//! waveform viewers.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One recorded signal change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Change {
+    /// Clock cycle at which the signal took the new value.
+    pub cycle: u64,
+    /// The new value.
+    pub value: u64,
+}
+
+/// A per-signal change recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    /// Signal name → ordered list of changes.
+    signals: BTreeMap<String, Vec<Change>>,
+    cycle: u64,
+}
+
+impl Tracer {
+    /// Creates an empty tracer at cycle 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advances the clock by one cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+    }
+
+    /// Records `signal = value` at the current cycle; consecutive equal
+    /// values are deduplicated (VCD semantics).
+    pub fn record(&mut self, signal: &str, value: u64) {
+        let changes = self.signals.entry(signal.to_owned()).or_default();
+        if changes.last().map(|c| c.value) == Some(value) {
+            return;
+        }
+        changes.push(Change {
+            cycle: self.cycle,
+            value,
+        });
+    }
+
+    /// The value of `signal` at `cycle`, if it had been set by then.
+    #[must_use]
+    pub fn value_at(&self, signal: &str, cycle: u64) -> Option<u64> {
+        let changes = self.signals.get(signal)?;
+        changes
+            .iter()
+            .take_while(|c| c.cycle <= cycle)
+            .last()
+            .map(|c| c.value)
+    }
+
+    /// All changes of one signal.
+    #[must_use]
+    pub fn changes(&self, signal: &str) -> &[Change] {
+        self.signals.get(signal).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct signals traced.
+    #[must_use]
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Renders the trace as a VCD document (64-bit vectors, 1 ns
+    /// timescale, one timestamp per cycle).
+    #[must_use]
+    pub fn to_vcd(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$timescale 1ns $end\n$scope module saber $end\n");
+        // VCD identifiers: one printable character per signal, starting
+        // at '!' (33). BTreeMap ordering keeps ids stable.
+        let ids: BTreeMap<&str, char> = self
+            .signals
+            .keys()
+            .enumerate()
+            .map(|(i, name)| {
+                (
+                    name.as_str(),
+                    char::from_u32(33 + i as u32).expect("printable VCD id"),
+                )
+            })
+            .collect();
+        for (name, id) in &ids {
+            let _ = writeln!(out, "$var wire 64 {id} {name} $end");
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+        // Merge changes by cycle.
+        let mut by_cycle: BTreeMap<u64, Vec<(char, u64)>> = BTreeMap::new();
+        for (name, changes) in &self.signals {
+            let id = ids[name.as_str()];
+            for c in changes {
+                by_cycle.entry(c.cycle).or_default().push((id, c.value));
+            }
+        }
+        for (cycle, values) in by_cycle {
+            let _ = writeln!(out, "#{cycle}");
+            for (id, value) in values {
+                let _ = writeln!(out, "b{value:b} {id}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries() {
+        let mut t = Tracer::new();
+        t.record("read_addr", 5);
+        t.tick();
+        t.record("read_addr", 6);
+        t.tick();
+        t.tick();
+        t.record("read_addr", 9);
+        assert_eq!(t.value_at("read_addr", 0), Some(5));
+        assert_eq!(t.value_at("read_addr", 2), Some(6));
+        assert_eq!(t.value_at("read_addr", 3), Some(9));
+        assert_eq!(t.value_at("missing", 0), None);
+    }
+
+    #[test]
+    fn deduplicates_consecutive_values() {
+        let mut t = Tracer::new();
+        t.record("stall", 1);
+        t.tick();
+        t.record("stall", 1);
+        t.tick();
+        t.record("stall", 0);
+        assert_eq!(t.changes("stall").len(), 2);
+    }
+
+    #[test]
+    fn vcd_output_is_well_formed() {
+        let mut t = Tracer::new();
+        t.record("a", 1);
+        t.record("b", 2);
+        t.tick();
+        t.record("a", 0);
+        let vcd = t.to_vcd();
+        assert!(vcd.contains("$timescale"));
+        assert!(vcd.contains("$var wire 64 ! a $end"));
+        assert!(vcd.contains("#0"));
+        assert!(vcd.contains("#1"));
+        assert_eq!(t.signal_count(), 2);
+    }
+}

@@ -1,0 +1,285 @@
+//! Width-checked wire values.
+//!
+//! RTL buses have explicit widths and silently truncate; a software
+//! model that uses bare `u64` can hide width bugs the silicon would
+//! expose (exactly the class of problem behind HS-II's 26×17 split). A
+//! [`UBits`] value carries its width, checks it on construction, and
+//! makes truncation explicit.
+
+use std::fmt;
+
+/// An unsigned wire value of a declared bit width (1..=64).
+///
+/// # Examples
+///
+/// ```
+/// use saber_hw::wires::UBits;
+///
+/// let a = UBits::new(0x1fff, 13)?;         // a 13-bit coefficient
+/// let wide = a.zext(26);                   // zero-extend to a DSP port
+/// assert_eq!(wide.width(), 26);
+/// let (lo, hi) = wide.split(17);           // bus split: low 17, high 9
+/// assert_eq!(lo.width(), 17);
+/// assert_eq!(hi.width(), 9);
+/// # Ok::<(), saber_hw::wires::WidthError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UBits {
+    value: u64,
+    width: u32,
+}
+
+/// Error returned when a value does not fit its declared width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthError {
+    /// The offending value.
+    pub value: u64,
+    /// The declared width.
+    pub width: u32,
+}
+
+impl fmt::Display for WidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value {:#x} does not fit {} bits",
+            self.value, self.width
+        )
+    }
+}
+
+impl std::error::Error for WidthError {}
+
+fn mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+impl UBits {
+    /// Wraps `value` as a `width`-bit wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WidthError`] if the value needs more than `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or above 64 (that is a model bug, not a
+    /// data condition).
+    pub fn new(value: u64, width: u32) -> Result<Self, WidthError> {
+        assert!((1..=64).contains(&width), "wire width out of range");
+        if value > mask(width) {
+            return Err(WidthError { value, width });
+        }
+        Ok(Self { value, width })
+    }
+
+    /// The zero wire of the given width.
+    #[must_use]
+    pub fn zero(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "wire width out of range");
+        Self { value: 0, width }
+    }
+
+    /// The carried value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The declared width.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Zero-extends to a wider bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is narrower than the current width (extension
+    /// never truncates — use [`truncate`](Self::truncate)).
+    #[must_use]
+    pub fn zext(self, width: u32) -> Self {
+        assert!(width >= self.width, "zext cannot narrow a wire");
+        assert!(width <= 64, "wire width out of range");
+        Self {
+            value: self.value,
+            width,
+        }
+    }
+
+    /// Explicitly truncates to the low `width` bits (the RTL `[w-1:0]`
+    /// slice).
+    #[must_use]
+    pub fn truncate(self, width: u32) -> Self {
+        assert!((1..=self.width).contains(&width), "truncate must narrow");
+        Self {
+            value: self.value & mask(width),
+            width,
+        }
+    }
+
+    /// Splits into `(low, high)` at bit `at` — the bus-split idiom of
+    /// the HS-II packer (`A = a + a'·2^26`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < at < width`.
+    #[must_use]
+    pub fn split(self, at: u32) -> (Self, Self) {
+        assert!(at > 0 && at < self.width, "split point out of range");
+        (
+            Self {
+                value: self.value & mask(at),
+                width: at,
+            },
+            Self {
+                value: self.value >> at,
+                width: self.width - at,
+            },
+        )
+    }
+
+    /// Concatenates `high ‖ self` (self is the low part).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds 64.
+    #[must_use]
+    pub fn concat(self, high: UBits) -> Self {
+        let width = self.width + high.width;
+        assert!(width <= 64, "concatenation exceeds 64 bits");
+        Self {
+            value: self.value | (high.value << self.width),
+            width,
+        }
+    }
+
+    /// Width-growing addition: the result is one bit wider (the carry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would exceed 64 bits.
+    #[must_use]
+    pub fn add_full(self, other: UBits) -> Self {
+        let width = self.width.max(other.width) + 1;
+        assert!(width <= 64, "adder output exceeds 64 bits");
+        Self {
+            value: self.value + other.value,
+            width,
+        }
+    }
+
+    /// Wrapping addition at this wire's width (the RTL `+` with
+    /// truncation), e.g. the mod-`2^13` accumulator update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different widths (an RTL lint error).
+    #[must_use]
+    pub fn add_wrapping(self, other: UBits) -> Self {
+        assert_eq!(self.width, other.width, "width mismatch in adder");
+        Self {
+            value: (self.value.wrapping_add(other.value)) & mask(self.width),
+            width: self.width,
+        }
+    }
+
+    /// Width-growing multiplication (`w₁ × w₂ → w₁ + w₂` bits), the DSP
+    /// multiplier contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product width exceeds 64 bits.
+    #[must_use]
+    pub fn mul_full(self, other: UBits) -> Self {
+        let width = self.width + other.width;
+        assert!(width <= 64, "multiplier output exceeds 64 bits");
+        Self {
+            value: self.value * other.value,
+            width,
+        }
+    }
+}
+
+impl fmt::Display for UBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_enforces_width() {
+        assert!(UBits::new(8191, 13).is_ok());
+        let err = UBits::new(8192, 13).unwrap_err();
+        assert_eq!(err.width, 13);
+        assert!(err.to_string().contains("13 bits"));
+    }
+
+    #[test]
+    fn hs2_packing_shapes() {
+        // The §3.2 split: a 28-bit packed A into 26 + 2 bits.
+        let a0 = UBits::new(8191, 13).unwrap();
+        let a1 = UBits::new(8191, 13).unwrap();
+        let packed = a0.zext(15).concat(a1); // A = a0 + a1·2^15, 28 bits
+        assert_eq!(packed.width(), 28);
+        let (lo, hi) = packed.split(26);
+        assert_eq!((lo.width(), hi.width()), (26, 2));
+        // Reassembly is lossless.
+        assert_eq!(lo.concat(hi), packed);
+    }
+
+    #[test]
+    fn arithmetic_widths() {
+        let a = UBits::new(8191, 13).unwrap();
+        let s = UBits::new(5, 3).unwrap();
+        let product = a.mul_full(s);
+        assert_eq!(product.width(), 16);
+        assert_eq!(product.value(), 8191 * 5);
+        let sum = a.add_full(a);
+        assert_eq!(sum.width(), 14);
+        let wrapped = a.add_wrapping(UBits::new(1, 13).unwrap());
+        assert_eq!(wrapped.value(), 0, "8191 + 1 wraps mod 2^13");
+        assert_eq!(wrapped.width(), 13);
+    }
+
+    #[test]
+    fn truncate_is_explicit() {
+        let wide = UBits::new(0x1_ffff, 17).unwrap();
+        assert_eq!(wide.truncate(13).value(), 0x1fff);
+    }
+
+    #[test]
+    fn display_is_verilog_flavored() {
+        assert_eq!(UBits::new(0x2a, 13).unwrap().to_string(), "13'h2a");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_adder_panics() {
+        let a = UBits::new(1, 13).unwrap();
+        let b = UBits::new(1, 10).unwrap();
+        let _ = a.add_wrapping(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot narrow")]
+    fn zext_cannot_narrow() {
+        let a = UBits::new(1, 13).unwrap();
+        let _ = a.zext(10);
+    }
+
+    #[test]
+    fn full_width_64_behaves() {
+        let max = UBits::new(u64::MAX, 64).unwrap();
+        assert_eq!(max.truncate(32).value(), u64::from(u32::MAX));
+    }
+}

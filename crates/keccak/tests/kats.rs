@@ -1,0 +1,92 @@
+//! Known-answer tests against vectors generated with CPython `hashlib`.
+
+mod kats_data;
+
+use kats_data::Kat;
+use saber_keccak::{Sha3_256, Sha3_512, Shake128, Shake256};
+
+fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn check<F: Fn(&[u8]) -> Vec<u8>>(kats: &[Kat], f: F, alg: &str) {
+    for (name, msg, expected) in kats {
+        let got = to_hex(&f(msg));
+        assert_eq!(&got, expected, "{alg} KAT `{name}` mismatch");
+    }
+}
+
+#[test]
+fn sha3_256_kats() {
+    check(
+        kats_data::SHA3_256,
+        |m| Sha3_256::digest(m).to_vec(),
+        "SHA3-256",
+    );
+}
+
+#[test]
+fn sha3_512_kats() {
+    check(
+        kats_data::SHA3_512,
+        |m| Sha3_512::digest(m).to_vec(),
+        "SHA3-512",
+    );
+}
+
+#[test]
+fn shake128_64_kats() {
+    check(
+        kats_data::SHAKE128_64,
+        |m| Shake128::xof(m, 64),
+        "SHAKE128/64B",
+    );
+}
+
+#[test]
+fn shake256_64_kats() {
+    check(
+        kats_data::SHAKE256_64,
+        |m| Shake256::xof(m, 64),
+        "SHAKE256/64B",
+    );
+}
+
+#[test]
+fn shake128_1344_kats() {
+    // 1344 bytes = the amount Saber expands per matrix polynomial batch;
+    // exercises many squeeze blocks.
+    check(
+        kats_data::SHAKE128_1344,
+        |m| Shake128::xof(m, 1344),
+        "SHAKE128/1344B",
+    );
+}
+
+#[test]
+fn shake256_333_kats() {
+    // Odd length that is not a multiple of the rate.
+    check(
+        kats_data::SHAKE256_333,
+        |m| Shake256::xof(m, 333),
+        "SHAKE256/333B",
+    );
+}
+
+#[test]
+fn streaming_absorb_matches_kats() {
+    // Split every KAT message at several positions and absorb in pieces.
+    for (name, msg, expected) in kats_data::SHA3_256 {
+        for split in [0usize, 1, 7, msg.len() / 2, msg.len().saturating_sub(1)] {
+            let split = split.min(msg.len());
+            let mut h = Sha3_256::new();
+            h.update(&msg[..split]);
+            h.update(&msg[split..]);
+            assert_eq!(
+                &to_hex(&h.finalize()),
+                expected,
+                "streaming SHA3-256 `{name}` split at {split}"
+            );
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The CCA-secure Saber KEM: the IND-CPA PKE wrapped in a
+//! Fujisaki–Okamoto transform with implicit rejection (Round-3 spec,
+//! §2.5).
+//!
+//! Hash roles follow the spec: `F = SHA3-256` (public-key hash and final
+//! key derivation), `G = SHA3-512` (splits into the pre-key `K̂` and the
+//! encryption coins `r`).
+
+use std::fmt;
+
+use saber_keccak::{Sha3_256, Sha3_512, Shake256};
+use saber_ring::PolyMultiplier;
+
+use crate::params::SaberParams;
+use crate::pke::{self, Ciphertext, CpaSecretKey, PublicKey};
+use crate::serialize;
+
+/// A 32-byte shared secret.
+///
+/// `Debug` never prints the bytes; use [`as_bytes`](Self::as_bytes)
+/// to extract them deliberately.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SharedSecret([u8; 32]);
+
+impl SharedSecret {
+    /// Returns the raw secret bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for SharedSecret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedSecret(<redacted>)")
+    }
+}
+
+/// The KEM secret key: the CPA key plus the FO transform state.
+#[derive(Clone)]
+pub struct KemSecretKey {
+    cpa: CpaSecretKey,
+    public_key: PublicKey,
+    pk_hash: [u8; 32],
+    /// Implicit-rejection secret.
+    z: [u8; 32],
+}
+
+impl KemSecretKey {
+    /// Assembles a secret key from its parts (used by deserialization).
+    #[must_use]
+    pub fn from_parts(
+        cpa: CpaSecretKey,
+        public_key: PublicKey,
+        pk_hash: [u8; 32],
+        z: [u8; 32],
+    ) -> Self {
+        Self {
+            cpa,
+            public_key,
+            pk_hash,
+            z,
+        }
+    }
+
+    /// The IND-CPA secret key.
+    #[must_use]
+    pub fn cpa(&self) -> &CpaSecretKey {
+        &self.cpa
+    }
+
+    /// The cached public-key hash used by the FO transform.
+    #[must_use]
+    pub fn pk_hash(&self) -> &[u8; 32] {
+        &self.pk_hash
+    }
+
+    /// The implicit-rejection secret.
+    #[must_use]
+    pub fn z(&self) -> &[u8; 32] {
+        &self.z
+    }
+
+    /// The embedded public key (the spec stores it in the secret key so
+    /// decapsulation can re-encrypt).
+    #[must_use]
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public_key
+    }
+
+    /// Parameter set of this key.
+    #[must_use]
+    pub fn params(&self) -> &SaberParams {
+        &self.public_key.params
+    }
+}
+
+impl fmt::Debug for KemSecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KemSecretKey({}, <redacted>)", self.params().name)
+    }
+}
+
+/// Derives the three independent 32-byte seeds key generation consumes
+/// from one master seed (domain-separated SHAKE-256).
+fn expand_keygen_seed(seed: &[u8; 32]) -> ([u8; 32], [u8; 32], [u8; 32]) {
+    let mut xof = Shake256::new();
+    xof.absorb(seed);
+    xof.absorb(b"saber-kem-keygen");
+    (xof.read_array(), xof.read_array(), xof.read_array())
+}
+
+/// KEM key generation from a 32-byte master seed.
+///
+/// # Examples
+///
+/// ```
+/// use saber_kem::{kem, params::SABER};
+/// use saber_ring::mul::SchoolbookMultiplier;
+///
+/// let mut backend = SchoolbookMultiplier;
+/// let (pk, sk) = kem::keygen(&SABER, &[7u8; 32], &mut backend);
+/// let (ct, ss_enc) = kem::encaps(&pk, &[8u8; 32], &mut backend);
+/// let ss_dec = kem::decaps(&sk, &ct, &mut backend);
+/// assert_eq!(ss_enc, ss_dec);
+/// ```
+#[must_use]
+pub fn keygen<M: PolyMultiplier + ?Sized>(
+    params: &SaberParams,
+    seed: &[u8; 32],
+    backend: &mut M,
+) -> (PublicKey, KemSecretKey) {
+    let (seed_a, seed_s, z) = expand_keygen_seed(seed);
+    let (pk, cpa_sk) = pke::keygen(params, seed_a, &seed_s, backend);
+    let pk_hash = Sha3_256::digest(&serialize::public_key_to_bytes(&pk));
+    let sk = KemSecretKey {
+        cpa: cpa_sk,
+        public_key: pk.clone(),
+        pk_hash,
+        z,
+    };
+    (pk, sk)
+}
+
+/// Splits `G(pk_hash ‖ m)` into the pre-key and the encryption coins.
+fn g_split(pk_hash: &[u8; 32], m: &[u8; 32]) -> ([u8; 32], [u8; 32]) {
+    let mut g = Sha3_512::new();
+    g.update(pk_hash);
+    g.update(m);
+    let out = g.finalize();
+    let mut khat = [0u8; 32];
+    let mut coins = [0u8; 32];
+    khat.copy_from_slice(&out[..32]);
+    coins.copy_from_slice(&out[32..]);
+    (khat, coins)
+}
+
+/// Derives the final shared secret `SHA3-256(K̂ ‖ c)`.
+fn final_key(khat: &[u8; 32], ct_bytes: &[u8]) -> SharedSecret {
+    let mut h = Sha3_256::new();
+    h.update(khat);
+    h.update(ct_bytes);
+    SharedSecret(h.finalize())
+}
+
+/// Encapsulation: produces a ciphertext and the shared secret.
+///
+/// `entropy` is the caller-supplied randomness; it is hashed before use
+/// (`m = SHA3-256(entropy)`) exactly as the spec hashes the sampled
+/// message to de-bias it.
+#[must_use]
+pub fn encaps<M: PolyMultiplier + ?Sized>(
+    pk: &PublicKey,
+    entropy: &[u8; 32],
+    backend: &mut M,
+) -> (Ciphertext, SharedSecret) {
+    let m = Sha3_256::digest(entropy);
+    let pk_hash = Sha3_256::digest(&serialize::public_key_to_bytes(pk));
+    let (khat, coins) = g_split(&pk_hash, &m);
+    let ct = pke::encrypt(pk, &m, &coins, backend);
+    let ct_bytes = serialize::ciphertext_to_bytes(&ct, &pk.params);
+    (ct, final_key(&khat, &ct_bytes))
+}
+
+/// Decapsulation with implicit rejection: an invalid ciphertext yields a
+/// pseudorandom secret derived from `z` instead of an error.
+#[must_use]
+pub fn decaps<M: PolyMultiplier + ?Sized>(
+    sk: &KemSecretKey,
+    ct: &Ciphertext,
+    backend: &mut M,
+) -> SharedSecret {
+    let m_prime = pke::decrypt(&sk.cpa, ct, backend);
+    let (khat_prime, coins_prime) = g_split(&sk.pk_hash, &m_prime);
+    let ct_prime = pke::encrypt(&sk.public_key, &m_prime, &coins_prime, backend);
+    let ct_bytes = serialize::ciphertext_to_bytes(ct, sk.params());
+    if ct_prime == *ct {
+        final_key(&khat_prime, &ct_bytes)
+    } else {
+        final_key(&sk.z, &ct_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ALL_PARAMS, SABER};
+    use saber_ring::mul::SchoolbookMultiplier;
+
+    #[test]
+    fn encaps_decaps_roundtrip_all_sets() {
+        let mut backend = SchoolbookMultiplier;
+        for params in &ALL_PARAMS {
+            let (pk, sk) = keygen(params, &[1; 32], &mut backend);
+            for e in 0..4u8 {
+                let (ct, ss1) = encaps(&pk, &[e; 32], &mut backend);
+                let ss2 = decaps(&sk, &ct, &mut backend);
+                assert_eq!(ss1, ss2, "{} entropy {e}", params.name);
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected_implicitly() {
+        let mut backend = SchoolbookMultiplier;
+        let (pk, sk) = keygen(&SABER, &[1; 32], &mut backend);
+        let (ct, ss) = encaps(&pk, &[2; 32], &mut backend);
+        // Flip one c_m coefficient.
+        let mut values = [0u16; 256];
+        for (i, v) in values.iter_mut().enumerate() {
+            *v = ct.cm.coeff(i);
+        }
+        values[0] ^= 1;
+        let tampered = Ciphertext {
+            b_prime: ct.b_prime.clone(),
+            cm: crate::pke::CompressedPoly::new(values, SABER.eps_t),
+        };
+        let ss_bad = decaps(&sk, &tampered, &mut backend);
+        assert_ne!(ss, ss_bad, "tampering must change the shared secret");
+        // Implicit rejection is deterministic.
+        assert_eq!(ss_bad, decaps(&sk, &tampered, &mut backend));
+    }
+
+    #[test]
+    fn different_entropy_different_secrets() {
+        let mut backend = SchoolbookMultiplier;
+        let (pk, _) = keygen(&SABER, &[1; 32], &mut backend);
+        let (ct1, ss1) = encaps(&pk, &[2; 32], &mut backend);
+        let (ct2, ss2) = encaps(&pk, &[3; 32], &mut backend);
+        assert_ne!(ss1, ss2);
+        assert_ne!(ct1, ct2);
+    }
+
+    #[test]
+    fn decaps_with_wrong_key_differs() {
+        let mut backend = SchoolbookMultiplier;
+        let (pk, _) = keygen(&SABER, &[1; 32], &mut backend);
+        let (_, sk_other) = keygen(&SABER, &[9; 32], &mut backend);
+        let (ct, ss) = encaps(&pk, &[2; 32], &mut backend);
+        assert_ne!(ss, decaps(&sk_other, &ct, &mut backend));
+    }
+
+    #[test]
+    fn shared_secret_debug_is_redacted() {
+        let mut backend = SchoolbookMultiplier;
+        let (pk, sk) = keygen(&SABER, &[1; 32], &mut backend);
+        let (_, ss) = encaps(&pk, &[2; 32], &mut backend);
+        assert_eq!(format!("{ss:?}"), "SharedSecret(<redacted>)");
+        assert!(format!("{sk:?}").contains("redacted"));
+    }
+
+    #[test]
+    fn keygen_is_deterministic() {
+        let mut backend = SchoolbookMultiplier;
+        let (pk1, _) = keygen(&SABER, &[4; 32], &mut backend);
+        let (pk2, _) = keygen(&SABER, &[4; 32], &mut backend);
+        assert_eq!(pk1, pk2);
+    }
+}

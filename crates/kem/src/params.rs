@@ -1,0 +1,157 @@
+//! Saber parameter sets (Round-3 submission, Table 1 of the spec).
+//!
+//! All three sets share `N = 256`, `q = 2^13`, `p = 2^10` and differ in
+//! the module rank `ℓ`, the binomial parameter `µ` (secret coefficients
+//! lie in `[−µ/2, µ/2]`) and the ciphertext-compression width `ε_T`.
+
+use std::fmt;
+
+/// A Saber parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaberParams {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Module rank `ℓ` (dimension of vectors, `ℓ×ℓ` matrix).
+    pub rank: usize,
+    /// Binomial parameter `µ`; secrets are `β_µ`-distributed in
+    /// `[−µ/2, µ/2]`.
+    pub mu: u32,
+    /// Ciphertext compression width `ε_T` (bits kept per `c_m`
+    /// coefficient).
+    pub eps_t: u32,
+}
+
+/// LightSaber: NIST level 1 (`ℓ = 2`, `µ = 10`, `ε_T = 3`).
+pub const LIGHT_SABER: SaberParams = SaberParams {
+    name: "LightSaber",
+    rank: 2,
+    mu: 10,
+    eps_t: 3,
+};
+
+/// Saber: NIST level 3 (`ℓ = 3`, `µ = 8`, `ε_T = 4`).
+pub const SABER: SaberParams = SaberParams {
+    name: "Saber",
+    rank: 3,
+    mu: 8,
+    eps_t: 4,
+};
+
+/// FireSaber: NIST level 5 (`ℓ = 4`, `µ = 6`, `ε_T = 6`).
+pub const FIRE_SABER: SaberParams = SaberParams {
+    name: "FireSaber",
+    rank: 4,
+    mu: 6,
+    eps_t: 6,
+};
+
+/// All parameter sets, in increasing security order.
+pub const ALL_PARAMS: [SaberParams; 3] = [LIGHT_SABER, SABER, FIRE_SABER];
+
+impl SaberParams {
+    /// Maximum secret-coefficient magnitude, `µ/2`.
+    #[must_use]
+    pub const fn secret_bound(&self) -> i8 {
+        (self.mu / 2) as i8
+    }
+
+    /// Bytes of XOF output consumed to sample one secret polynomial
+    /// (`256·µ` bits).
+    #[must_use]
+    pub const fn secret_bytes_per_poly(&self) -> usize {
+        256 * self.mu as usize / 8
+    }
+
+    /// Bytes of XOF output consumed to expand one matrix polynomial
+    /// (`256·13` bits).
+    #[must_use]
+    pub const fn matrix_bytes_per_poly(&self) -> usize {
+        256 * 13 / 8
+    }
+
+    /// Serialized public-key length: 32-byte seed plus `ℓ` polynomials of
+    /// 10-bit coefficients.
+    #[must_use]
+    pub const fn public_key_bytes(&self) -> usize {
+        32 + self.rank * 256 * 10 / 8
+    }
+
+    /// Serialized ciphertext length: `ℓ` polynomials of 10-bit
+    /// coefficients plus one `ε_T`-bit polynomial.
+    #[must_use]
+    pub const fn ciphertext_bytes(&self) -> usize {
+        self.rank * 256 * 10 / 8 + 256 * self.eps_t as usize / 8
+    }
+
+    /// Number of asymmetric polynomial multiplications in each operation
+    /// (the structural counts behind the paper's "up to 56 % of time"
+    /// motivation): `ℓ²` for key generation, `ℓ² + ℓ` for encryption,
+    /// `ℓ` for decryption (plus re-encryption inside decapsulation).
+    #[must_use]
+    pub const fn multiplication_counts(&self) -> MultiplicationCounts {
+        let l = self.rank;
+        MultiplicationCounts {
+            keygen: l * l,
+            encaps: l * l + l,
+            decaps: l + (l * l + l),
+        }
+    }
+}
+
+impl fmt::Display for SaberParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (ℓ = {}, µ = {}, ε_T = {})",
+            self.name, self.rank, self.mu, self.eps_t
+        )
+    }
+}
+
+/// Polynomial-multiplication counts per KEM operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiplicationCounts {
+    /// Multiplications in key generation (`Aᵀ·s`).
+    pub keygen: usize,
+    /// Multiplications in encapsulation (`A·s'` and `bᵀ·s'`).
+    pub encaps: usize,
+    /// Multiplications in decapsulation (`b'ᵀ·s` plus re-encryption).
+    pub decaps: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secret_bounds_match_spec() {
+        assert_eq!(LIGHT_SABER.secret_bound(), 5);
+        assert_eq!(SABER.secret_bound(), 4);
+        assert_eq!(FIRE_SABER.secret_bound(), 3);
+    }
+
+    #[test]
+    fn key_and_ciphertext_sizes_match_round3_spec() {
+        // Public key: seed (32) + ℓ·320 bytes.
+        assert_eq!(LIGHT_SABER.public_key_bytes(), 672);
+        assert_eq!(SABER.public_key_bytes(), 992);
+        assert_eq!(FIRE_SABER.public_key_bytes(), 1312);
+        // Ciphertext: ℓ·320 + 32·ε_T bytes.
+        assert_eq!(LIGHT_SABER.ciphertext_bytes(), 736);
+        assert_eq!(SABER.ciphertext_bytes(), 1088);
+        assert_eq!(FIRE_SABER.ciphertext_bytes(), 1472);
+    }
+
+    #[test]
+    fn multiplication_counts_scale_with_rank() {
+        let m = SABER.multiplication_counts();
+        assert_eq!(m.keygen, 9);
+        assert_eq!(m.encaps, 12);
+        assert_eq!(m.decaps, 15);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SABER.to_string().contains("µ = 8"));
+    }
+}

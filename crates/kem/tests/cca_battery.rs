@@ -1,0 +1,129 @@
+//! Chosen-ciphertext attack-surface battery: every malleation of a
+//! valid ciphertext must be implicitly rejected (different, but
+//! deterministic, shared secret), and malformed inputs must fail to
+//! decode rather than reach the decryption core.
+
+use saber_kem::params::{FIRE_SABER, LIGHT_SABER, SABER};
+use saber_kem::pke::{Ciphertext, CompressedPoly};
+use saber_kem::serialize::{ciphertext_from_bytes, ciphertext_to_bytes};
+use saber_kem::{decaps, encaps, keygen, KemSecretKey, SharedSecret};
+use saber_ring::mul::SchoolbookMultiplier;
+use saber_ring::{PolyP, PolyVec};
+
+fn setup() -> (saber_kem::PublicKey, KemSecretKey, Ciphertext, SharedSecret) {
+    let mut backend = SchoolbookMultiplier;
+    let (pk, sk) = keygen(&SABER, &[5; 32], &mut backend);
+    let (ct, ss) = encaps(&pk, &[6; 32], &mut backend);
+    (pk, sk, ct, ss)
+}
+
+fn decaps_of(sk: &KemSecretKey, ct: &Ciphertext) -> SharedSecret {
+    decaps(sk, ct, &mut SchoolbookMultiplier)
+}
+
+#[test]
+fn tampering_b_prime_rejected() {
+    let (_, sk, ct, ss) = setup();
+    for (poly_index, coeff_index, delta) in [(0usize, 0usize, 1u16), (1, 128, 512), (2, 255, 1023)]
+    {
+        let mut polys: Vec<PolyP> = ct.b_prime.iter().cloned().collect();
+        let old = polys[poly_index].coeff(coeff_index);
+        polys[poly_index].set_coeff(coeff_index, old.wrapping_add(delta) & 0x3ff);
+        let tampered = Ciphertext {
+            b_prime: PolyVec::from_polys(polys),
+            cm: ct.cm.clone(),
+        };
+        let bad = decaps_of(&sk, &tampered);
+        assert_ne!(ss, bad, "b' tamper ({poly_index},{coeff_index},{delta})");
+        assert_eq!(
+            bad,
+            decaps_of(&sk, &tampered),
+            "rejection must be deterministic"
+        );
+    }
+}
+
+#[test]
+fn tampering_every_cm_coefficient_rejected() {
+    let (_, sk, ct, ss) = setup();
+    for i in (0..256).step_by(17) {
+        let mut values = [0u16; 256];
+        for (j, v) in values.iter_mut().enumerate() {
+            *v = ct.cm.coeff(j);
+        }
+        values[i] ^= 1;
+        let tampered = Ciphertext {
+            b_prime: ct.b_prime.clone(),
+            cm: CompressedPoly::new(values, SABER.eps_t),
+        };
+        assert_ne!(ss, decaps_of(&sk, &tampered), "c_m tamper at {i}");
+    }
+}
+
+#[test]
+fn swapped_ciphertext_components_rejected() {
+    let mut backend = SchoolbookMultiplier;
+    let (pk, sk) = keygen(&SABER, &[5; 32], &mut backend);
+    let (ct1, ss1) = encaps(&pk, &[6; 32], &mut backend);
+    let (ct2, ss2) = encaps(&pk, &[7; 32], &mut backend);
+    // Mix b' of one ciphertext with c_m of another.
+    let franken = Ciphertext {
+        b_prime: ct1.b_prime.clone(),
+        cm: ct2.cm.clone(),
+    };
+    let out = decaps_of(&sk, &franken);
+    assert_ne!(out, ss1);
+    assert_ne!(out, ss2);
+}
+
+#[test]
+fn replayed_ciphertext_is_stable() {
+    // Decapsulating the same valid ciphertext any number of times gives
+    // the same secret (no state corruption in the backend).
+    let (_, sk, ct, ss) = setup();
+    for _ in 0..5 {
+        assert_eq!(decaps_of(&sk, &ct), ss);
+    }
+}
+
+#[test]
+fn truncated_and_padded_encodings_fail_to_decode() {
+    let (_, _, ct, _) = setup();
+    let bytes = ciphertext_to_bytes(&ct, &SABER);
+    assert!(ciphertext_from_bytes(&bytes[..bytes.len() - 1], &SABER).is_err());
+    let mut padded = bytes.clone();
+    padded.push(0);
+    assert!(ciphertext_from_bytes(&padded, &SABER).is_err());
+    // A Saber ciphertext is not decodable under the other parameter sets.
+    assert!(ciphertext_from_bytes(&bytes, &LIGHT_SABER).is_err());
+    assert!(ciphertext_from_bytes(&bytes, &FIRE_SABER).is_err());
+}
+
+#[test]
+fn cross_key_decapsulation_differs() {
+    let mut backend = SchoolbookMultiplier;
+    let (pk, _) = keygen(&SABER, &[5; 32], &mut backend);
+    let (ct, ss) = encaps(&pk, &[6; 32], &mut backend);
+    // A different key (even from a related seed) must not recover ss.
+    for seed in [[4u8; 32], [5; 32].map(|b: u8| b ^ 1), [0xff; 32]] {
+        let (_, other_sk) = keygen(&SABER, &seed, &mut backend);
+        assert_ne!(decaps(&other_sk, &ct, &mut backend), ss);
+    }
+}
+
+#[test]
+fn all_zero_and_all_max_ciphertexts_are_handled() {
+    // Degenerate ciphertexts must decapsulate (implicit rejection), not
+    // panic.
+    let (_, sk, _, _) = setup();
+    let zero_ct = Ciphertext {
+        b_prime: PolyVec::from_polys(vec![PolyP::zero(); 3]),
+        cm: CompressedPoly::new([0u16; 256], SABER.eps_t),
+    };
+    let _ = decaps_of(&sk, &zero_ct);
+    let max_ct = Ciphertext {
+        b_prime: PolyVec::from_polys(vec![PolyP::from_fn(|_| 0x3ff); 3]),
+        cm: CompressedPoly::new([(1 << SABER.eps_t) - 1; 256], SABER.eps_t),
+    };
+    let _ = decaps_of(&sk, &max_ct);
+}

@@ -1,0 +1,130 @@
+//! Statistical validation of the deterministic expansion: the public
+//! matrix must look uniform mod q and the secrets must follow the exact
+//! `β_µ` probability masses. Failures here would break Saber's security
+//! reduction regardless of functional correctness.
+
+use saber_kem::expand::{gen_matrix, gen_secret};
+use saber_kem::params::{ALL_PARAMS, LIGHT_SABER, SABER};
+
+/// χ² test of uniformity over 16 bins. With k−1 = 15 degrees of freedom
+/// the 99.9 % critical value is ≈ 37.7; we allow 45 for slack across
+/// repeated CI runs (the statistic is deterministic given the seed, so
+/// this is really a regression bound).
+fn chi_square_uniform_16(values: impl Iterator<Item = u16>, modulus: u32) -> f64 {
+    let mut bins = [0u64; 16];
+    let mut n = 0u64;
+    for v in values {
+        bins[(u32::from(v) * 16 / modulus) as usize] += 1;
+        n += 1;
+    }
+    let expected = n as f64 / 16.0;
+    bins.iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+#[test]
+fn matrix_coefficients_are_uniform() {
+    for params in &ALL_PARAMS {
+        let a = gen_matrix(&[21u8; 32], params);
+        let values = (0..params.rank)
+            .flat_map(|r| (0..params.rank).flat_map(move |c| (0..256).map(move |i| (r, c, i))));
+        let stat = chi_square_uniform_16(values.map(|(r, c, i)| a.entry(r, c).coeff(i)), 8192);
+        assert!(
+            stat < 45.0,
+            "{}: χ² = {stat:.1} over {} coefficients",
+            params.name,
+            params.rank * params.rank * 256
+        );
+    }
+}
+
+#[test]
+fn matrix_streams_are_independent_across_seeds() {
+    // Coefficient-wise collision rate between two seeds must be ≈ 1/q.
+    let a = gen_matrix(&[1u8; 32], &SABER);
+    let b = gen_matrix(&[2u8; 32], &SABER);
+    let mut collisions = 0u32;
+    let total = 9 * 256;
+    for r in 0..3 {
+        for c in 0..3 {
+            for i in 0..256 {
+                if a.entry(r, c).coeff(i) == b.entry(r, c).coeff(i) {
+                    collisions += 1;
+                }
+            }
+        }
+    }
+    // Expected ≈ total/8192 ≈ 0.28; demand < 8 (p ≪ 10⁻⁶ under uniform).
+    assert!(collisions < 8, "{collisions} collisions in {total}");
+}
+
+/// Exact `β_µ` probability masses: P(X = k) = C(µ, µ/2 + k) / 2^µ.
+fn binomial_mass(mu: u32, k: i32) -> f64 {
+    fn choose(n: u32, r: i32) -> f64 {
+        if r < 0 || r as u32 > n {
+            return 0.0;
+        }
+        let r = r as u32;
+        let mut acc = 1.0f64;
+        for i in 0..r {
+            acc = acc * f64::from(n - i) / f64::from(i + 1);
+        }
+        acc
+    }
+    choose(mu, (mu / 2) as i32 + k) / 2f64.powi(mu as i32)
+}
+
+#[test]
+fn secret_distribution_matches_beta_mu() {
+    // Pool many secrets and χ²-test the empirical masses against β_µ.
+    for params in [&SABER, &LIGHT_SABER] {
+        let bound = params.secret_bound() as i32;
+        let mut counts = vec![0u64; (2 * bound + 1) as usize];
+        let mut n = 0u64;
+        for seed in 0..24u8 {
+            let s = gen_secret(&[seed; 32], params);
+            for poly in s.iter() {
+                for &c in poly.iter() {
+                    counts[(i32::from(c) + bound) as usize] += 1;
+                    n += 1;
+                }
+            }
+        }
+        let mut stat = 0.0f64;
+        for k in -bound..=bound {
+            let expected = binomial_mass(params.mu, k) * n as f64;
+            let observed = counts[(k + bound) as usize] as f64;
+            stat += (observed - expected).powi(2) / expected;
+        }
+        // dof = 2·bound; 99.9 % critical values: 26.1 (dof 8), 29.6
+        // (dof 10). Allow 35.
+        assert!(
+            stat < 35.0,
+            "{}: χ² = {stat:.1} over {n} coefficients ({counts:?})",
+            params.name
+        );
+    }
+}
+
+#[test]
+fn secret_extremes_do_occur() {
+    // β_µ's tails are rare (P(±4) = 1/256 for µ = 8) but must appear in
+    // a large enough pool — their absence would indicate a clamped or
+    // mis-wired sampler.
+    let mut seen_max = false;
+    let mut seen_min = false;
+    for seed in 0..16u8 {
+        let s = gen_secret(&[seed; 32], &SABER);
+        for poly in s.iter() {
+            for &c in poly.iter() {
+                seen_max |= c == 4;
+                seen_min |= c == -4;
+            }
+        }
+    }
+    assert!(seen_max && seen_min, "β₈ tails never sampled");
+}

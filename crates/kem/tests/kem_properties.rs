@@ -1,0 +1,137 @@
+//! Property-based tests of the KEM layer: roundtrips over random seeds,
+//! serialization, tamper resistance, and the empirical noise margin
+//! behind Saber's (deterministic-rounding) correctness.
+
+use proptest::prelude::*;
+use saber_keccak::Shake256;
+use saber_kem::params::{ALL_PARAMS, SABER};
+use saber_kem::pke;
+use saber_kem::serialize::{
+    ciphertext_from_bytes, ciphertext_to_bytes, public_key_from_bytes, public_key_to_bytes,
+};
+use saber_kem::{decaps, encaps, keygen};
+use saber_ring::mul::SchoolbookMultiplier;
+
+fn arb_seed() -> impl Strategy<Value = [u8; 32]> {
+    proptest::array::uniform32(any::<u8>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn kem_roundtrip_random_seeds(kg in arb_seed(), ent in arb_seed()) {
+        let mut backend = SchoolbookMultiplier;
+        for params in &ALL_PARAMS {
+            let (pk, sk) = keygen(params, &kg, &mut backend);
+            let (ct, ss1) = encaps(&pk, &ent, &mut backend);
+            prop_assert_eq!(decaps(&sk, &ct, &mut backend), ss1, "{}", params.name);
+        }
+    }
+
+    #[test]
+    fn pke_roundtrip_random_everything(
+        kg_a in arb_seed(), kg_s in arb_seed(), coins in arb_seed(),
+        msg in proptest::array::uniform32(any::<u8>()),
+    ) {
+        let mut backend = SchoolbookMultiplier;
+        let (pk, sk) = pke::keygen(&SABER, kg_a, &kg_s, &mut backend);
+        let ct = pke::encrypt(&pk, &msg, &coins, &mut backend);
+        prop_assert_eq!(pke::decrypt(&sk, &ct, &mut backend), msg);
+    }
+
+    #[test]
+    fn serialization_roundtrips(kg in arb_seed(), ent in arb_seed()) {
+        let mut backend = SchoolbookMultiplier;
+        let (pk, _) = keygen(&SABER, &kg, &mut backend);
+        let (ct, _) = encaps(&pk, &ent, &mut backend);
+        let pk2 = public_key_from_bytes(&public_key_to_bytes(&pk), &SABER).unwrap();
+        prop_assert_eq!(&pk2, &pk);
+        let ct2 = ciphertext_from_bytes(&ciphertext_to_bytes(&ct, &SABER), &SABER).unwrap();
+        prop_assert_eq!(ct2, ct);
+    }
+
+    #[test]
+    fn any_single_byte_tamper_changes_the_secret(
+        kg in arb_seed(), ent in arb_seed(),
+        byte_index in 0usize..1088, flip in 1u8..=255,
+    ) {
+        let mut backend = SchoolbookMultiplier;
+        let (pk, sk) = keygen(&SABER, &kg, &mut backend);
+        let (ct, ss) = encaps(&pk, &ent, &mut backend);
+        let mut bytes = ciphertext_to_bytes(&ct, &SABER);
+        let idx = byte_index % bytes.len();
+        bytes[idx] ^= flip;
+        // Some tampered values may not decode (width violations are
+        // impossible here since all 10/ε_T-bit patterns are valid), so
+        // decode must succeed and decapsulate to a *different* secret.
+        let tampered = ciphertext_from_bytes(&bytes, &SABER).unwrap();
+        let ss_bad = decaps(&sk, &tampered, &mut backend);
+        prop_assert_ne!(ss, ss_bad);
+    }
+}
+
+/// Empirical noise-margin experiment: Saber's correctness relies on the
+/// decryption expression `v + h2 − 2^(ε_p−ε_T)·c_m` staying within
+/// ±2^(ε_p−1) of the message encoding. Measure the worst observed margin
+/// over many key/message pairs — it must stay comfortably positive
+/// (Saber's failure probability is 2^−136; any observed failure means a
+/// logic bug, not bad luck).
+#[test]
+fn empirical_noise_margin_is_comfortable() {
+    let mut backend = SchoolbookMultiplier;
+    let mut min_margin = i32::MAX;
+    for trial in 0u8..24 {
+        let mut seed = [0u8; 32];
+        seed[0] = trial;
+        let (pk, sk) = pke::keygen(&SABER, seed, &[trial ^ 0xff; 32], &mut backend);
+        // Random message from SHAKE.
+        let mut msg = [0u8; 32];
+        Shake256::from_seed(&[trial]).read(&mut msg);
+        let ct = pke::encrypt(&pk, &msg, &[trial.wrapping_add(9); 32], &mut backend);
+        assert_eq!(pke::decrypt(&sk, &ct, &mut backend), msg, "trial {trial}");
+
+        // Margin probe: re-derive the decision variable per coefficient.
+        // decrypt() maps x >> (ε_p − 1) to the message bit; the distance
+        // of x from the decision boundaries 0/512/1024 is the margin.
+        let v = ct.b_prime.inner_product_mod_p(&sk.s, &mut backend);
+        let h2 = saber_ring::rounding::h2(SABER.eps_t);
+        for i in 0..256 {
+            let x = v
+                .coeff(i)
+                .wrapping_add(h2)
+                .wrapping_sub(ct.cm.coeff(i) << (10 - SABER.eps_t))
+                & 0x3ff;
+            let bit = x >> 9;
+            // Distance to the nearest decision boundary for this bit.
+            let margin = if bit == 0 {
+                (i32::from(x)).min(512 - i32::from(x))
+            } else {
+                (i32::from(x) - 512).min(1024 - i32::from(x))
+            };
+            min_margin = min_margin.min(margin);
+        }
+    }
+    // The margin budget is 512; rounding noise consumes ≲ 300 in the
+    // worst case. Demand a real safety margin.
+    assert!(
+        min_margin > 64,
+        "worst observed decision margin {min_margin} is suspiciously thin"
+    );
+}
+
+#[test]
+fn cross_parameter_decoding_is_rejected() {
+    let mut backend = SchoolbookMultiplier;
+    let (pk, _) = keygen(&SABER, &[1; 32], &mut backend);
+    let bytes = public_key_to_bytes(&pk);
+    for params in &ALL_PARAMS {
+        if params.name != SABER.name {
+            assert!(
+                public_key_from_bytes(&bytes, params).is_err(),
+                "{} accepted a Saber key",
+                params.name
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Deterministic regression vectors for the Saber KEM.
+//!
+//! These are *self-generated* vectors (SHA3-256 digests of the public
+//! key and ciphertext, plus the raw shared secret) pinned at the time
+//! the implementation was validated — they detect any accidental change
+//! to the matrix expansion, sampling, arithmetic, serialization or FO
+//! transform. They are **not** NIST KATs: this workspace uses its own
+//! deterministic byte layouts (see DESIGN.md §2), so the official
+//! vectors do not apply.
+//!
+//! Fixed inputs: keygen seed `[0x11; 32]`, encapsulation entropy
+//! `[0x22; 32]`, schoolbook backend.
+
+use saber_keccak::Sha3_256;
+use saber_kem::params::{SaberParams, ALL_PARAMS};
+use saber_kem::serialize::{ciphertext_to_bytes, public_key_to_bytes};
+use saber_kem::{decaps, encaps, keygen};
+use saber_ring::mul::SchoolbookMultiplier;
+
+type Vector = (&'static str, &'static str, &'static str, &'static str);
+
+/// (params, SHA3-256(pk), SHA3-256(ct), shared secret).
+const VECTORS: &[Vector] = &[
+    (
+        "LightSaber",
+        "19262b64363093c37a9320be909d20880faaed348f5589c6aadfe6cfe0b2f98f",
+        "45ad3244756122f05fe68f1bafbc90095f3ca116a679ca5eac88c35c20878101",
+        "aa152dbeb2a848f528e3f8a325d87f110383aa208fde19cd88fd9b714a7c5c1b",
+    ),
+    (
+        "Saber",
+        "736faceec341655d13a199ae551dea6f8eee7ee64d3781e388695fee9da43847",
+        "2305bddaefac8a8165fa966b9d9bb7385015495d9fbc28ddb700d477968f3118",
+        "1c5a4d69a8fef455ab592996ed371fd8e28ff05b2983ca6a259e35f631ada8f8",
+    ),
+    (
+        "FireSaber",
+        "4b0052615f743ff7366f71757ba1d6fb36b884f430f6ef43eeb294578efad42f",
+        "8a2709ca885451bb6019294f2b18015f0f3ddccb0416d9dda169097be6b6453d",
+        "c5edae033375f37440d9d1d23481e3ca62820b3dde250d62c6a7f9a5e9f13648",
+    ),
+];
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn params_by_name(name: &str) -> &'static SaberParams {
+    ALL_PARAMS
+        .iter()
+        .find(|p| p.name == name)
+        .expect("known parameter set")
+}
+
+#[test]
+fn pinned_vectors_reproduce() {
+    let mut backend = SchoolbookMultiplier;
+    for (name, pk_hash, ct_hash, ss_hex) in VECTORS {
+        let params = params_by_name(name);
+        let (pk, sk) = keygen(params, &[0x11; 32], &mut backend);
+        let (ct, ss) = encaps(&pk, &[0x22; 32], &mut backend);
+        assert_eq!(decaps(&sk, &ct, &mut backend), ss, "{name}: roundtrip");
+        assert_eq!(
+            &hex(&Sha3_256::digest(&public_key_to_bytes(&pk))),
+            pk_hash,
+            "{name}: public-key digest changed"
+        );
+        assert_eq!(
+            &hex(&Sha3_256::digest(&ciphertext_to_bytes(&ct, params))),
+            ct_hash,
+            "{name}: ciphertext digest changed"
+        );
+        assert_eq!(&hex(ss.as_bytes()), ss_hex, "{name}: shared secret changed");
+    }
+}
+
+#[test]
+fn vectors_are_backend_independent() {
+    // The hardware models must reproduce the same pinned vectors — the
+    // backend is an implementation detail of the arithmetic.
+    let (name, _, _, ss_hex) = VECTORS[1]; // Saber
+    let params = params_by_name(name);
+    let mut backend = saber_ring::mul::ToomCook4Multiplier;
+    let (pk, _) = keygen(params, &[0x11; 32], &mut backend);
+    let (_, ss) = encaps(&pk, &[0x22; 32], &mut backend);
+    assert_eq!(&hex(ss.as_bytes()), ss_hex);
+}
+
+#[test]
+fn vectors_cover_all_parameter_sets() {
+    assert_eq!(VECTORS.len(), ALL_PARAMS.len());
+    for params in &ALL_PARAMS {
+        assert!(VECTORS.iter().any(|(n, ..)| n == &params.name));
+    }
+}

@@ -1,0 +1,119 @@
+//! Ring dimensions and power-of-two moduli used throughout the workspace.
+
+/// Polynomial degree bound: all Saber polynomials have 256 coefficients.
+pub const N: usize = 256;
+
+/// Bit width of the large modulus `q = 2^13` (`ε_q` in the Saber spec).
+pub const EPS_Q: u32 = 13;
+
+/// Bit width of the rounding modulus `p = 2^10` (`ε_p` in the Saber spec).
+pub const EPS_P: u32 = 10;
+
+/// The large modulus `q = 8192`.
+pub const Q: u32 = 1 << EPS_Q;
+
+/// The rounding modulus `p = 1024`.
+pub const P: u32 = 1 << EPS_P;
+
+/// Bit-mask for reduction modulo `2^bits`.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 32.
+///
+/// # Examples
+///
+/// ```
+/// use saber_ring::modulus::mask;
+/// assert_eq!(mask(13), 0x1fff);
+/// assert_eq!(mask(10), 0x3ff);
+/// ```
+#[must_use]
+pub const fn mask(bits: u32) -> u32 {
+    assert!(bits >= 1 && bits <= 32, "modulus width out of range");
+    if bits == 32 {
+        u32::MAX
+    } else {
+        (1 << bits) - 1
+    }
+}
+
+/// Reduces a (possibly negative) wide integer modulo `2^bits` into
+/// `0..2^bits`.
+///
+/// Two's-complement wrap-around makes this a pure mask for any input; the
+/// cast chain keeps the low bits of negative values, which is exactly the
+/// arithmetic a power-of-two-modulus datapath performs for free.
+///
+/// # Examples
+///
+/// ```
+/// use saber_ring::modulus::reduce_i64;
+/// assert_eq!(reduce_i64(-1, 13), 8191);
+/// assert_eq!(reduce_i64(8192, 13), 0);
+/// assert_eq!(reduce_i64(12345, 13), 12345 - 8192);
+/// ```
+#[must_use]
+pub const fn reduce_i64(value: i64, bits: u32) -> u16 {
+    assert!(bits >= 1 && bits <= 16, "coefficient width out of range");
+    ((value as u64) & (mask(bits) as u64)) as u16
+}
+
+/// Maps a residue in `0..2^bits` to its centered representative in
+/// `-2^(bits-1) .. 2^(bits-1)`.
+///
+/// # Examples
+///
+/// ```
+/// use saber_ring::modulus::center;
+/// assert_eq!(center(8191, 13), -1);
+/// assert_eq!(center(1, 13), 1);
+/// assert_eq!(center(4096, 13), -4096);
+/// ```
+#[must_use]
+pub const fn center(value: u16, bits: u32) -> i32 {
+    let v = value as i32;
+    let half = 1i32 << (bits - 1);
+    if v >= half {
+        v - (1 << bits)
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(13), 8191);
+        assert_eq!(mask(32), u32::MAX);
+    }
+
+    #[test]
+    fn reduce_negative_values() {
+        assert_eq!(reduce_i64(-8192, 13), 0);
+        assert_eq!(reduce_i64(-8193, 13), 8191);
+        assert_eq!(reduce_i64(i64::MIN, 13), 0);
+    }
+
+    #[test]
+    fn center_roundtrip() {
+        for bits in [10u32, 13] {
+            for v in 0..(1u16 << bits) {
+                let c = center(v, bits);
+                assert_eq!(reduce_i64(c as i64, bits), v);
+                assert!((-(1 << (bits - 1))..(1 << (bits - 1))).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn constants_consistent() {
+        assert_eq!(Q, 8192);
+        assert_eq!(P, 1024);
+        assert_eq!(N, 256);
+    }
+}

@@ -1,0 +1,306 @@
+//! Negacyclic NTT multiplication over a 64-bit prime field.
+//!
+//! Saber's power-of-two moduli rule out a *direct* NTT, but Chung et al.
+//! ("NTT Multiplication for NTT-unfriendly Rings", reference \[14\] of the
+//! paper) showed that one can lift the operands to ℤ, multiply in a large
+//! NTT-friendly prime field, and reduce back — because the integer product
+//! coefficients are bounded (|aᵢ| < 2^13, |sᵢ| ≤ 5, 256 terms ⇒
+//! |cₖ| < 2^24), any prime `P > 2^25` with 512-th roots of unity works.
+//!
+//! We use the Goldilocks prime `P = 2^64 − 2^32 + 1`, whose multiplicative
+//! group order `P − 1 = 2^32·(2^32 − 1)` contains ample two-adic roots.
+//! The required primitive 512-th root of unity is found at start-up by a
+//! verified search (no magic constants to mistype) and cached.
+//!
+//! This module serves as the software baseline for the §5.1 comparison
+//! against NTT-based lightweight implementations.
+
+use std::sync::OnceLock;
+
+use crate::modulus::N;
+use crate::poly::Poly;
+use crate::secret::SecretPoly;
+
+/// The Goldilocks prime `2^64 − 2^32 + 1`.
+pub const PRIME: u64 = 0xffff_ffff_0000_0001;
+
+/// log2 of the transform size (256-point NTT).
+const LOG_N: u32 = 8;
+
+/// Modular multiplication in the Goldilocks field via `u128` widening.
+#[inline]
+#[must_use]
+pub fn mul_mod(a: u64, b: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(PRIME)) as u64
+}
+
+/// Modular addition.
+#[inline]
+#[must_use]
+pub fn add_mod(a: u64, b: u64) -> u64 {
+    let (sum, carry) = a.overflowing_add(b);
+    let mut s = sum;
+    if carry || s >= PRIME {
+        s = s.wrapping_sub(PRIME);
+    }
+    s
+}
+
+/// Modular subtraction.
+#[inline]
+#[must_use]
+pub fn sub_mod(a: u64, b: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a.wrapping_sub(b).wrapping_add(PRIME)
+    }
+}
+
+/// Modular exponentiation by squaring.
+#[must_use]
+pub fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= PRIME;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base);
+        }
+        base = mul_mod(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse via Fermat's little theorem.
+#[must_use]
+pub fn inv_mod(a: u64) -> u64 {
+    assert!(!a.is_multiple_of(PRIME), "zero has no inverse");
+    pow_mod(a, PRIME - 2)
+}
+
+/// Precomputed twiddle tables for the 256-point negacyclic NTT.
+#[derive(Debug)]
+struct Tables {
+    /// ψ^j for j in 0..256 (ψ a primitive 512-th root of unity).
+    psi: [u64; N],
+    /// ψ^{−j}·256^{−1} folded together for the inverse pass.
+    psi_inv_scaled: [u64; N],
+    /// ω = ψ² powers in bit-reversed butterfly order for the forward NTT.
+    omega: [u64; N],
+    /// ω^{−1} powers for the inverse NTT.
+    omega_inv: [u64; N],
+}
+
+fn find_primitive_512th_root() -> u64 {
+    // Search small candidates g; c = g^((P−1)/512) has order dividing 512,
+    // and order exactly 512 iff c^256 ≠ 1. Verified, no magic constants.
+    let cofactor = (PRIME - 1) / 512;
+    for g in 2u64..200 {
+        let c = pow_mod(g, cofactor);
+        if pow_mod(c, 256) != 1 {
+            debug_assert_eq!(pow_mod(c, 512), 1);
+            return c;
+        }
+    }
+    unreachable!("a primitive 512th root exists below g = 200 for Goldilocks")
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let psi_root = find_primitive_512th_root();
+        let omega_root = mul_mod(psi_root, psi_root);
+        let psi_root_inv = inv_mod(psi_root);
+        let omega_root_inv = inv_mod(omega_root);
+        let n_inv = inv_mod(N as u64);
+
+        let mut psi = [0u64; N];
+        let mut psi_inv_scaled = [0u64; N];
+        let mut omega = [0u64; N];
+        let mut omega_inv = [0u64; N];
+        let (mut p, mut pi, mut w, mut wi) = (1u64, n_inv, 1u64, 1u64);
+        for j in 0..N {
+            psi[j] = p;
+            psi_inv_scaled[j] = pi;
+            omega[j] = w;
+            omega_inv[j] = wi;
+            p = mul_mod(p, psi_root);
+            pi = mul_mod(pi, psi_root_inv);
+            w = mul_mod(w, omega_root);
+            wi = mul_mod(wi, omega_root_inv);
+        }
+        Tables {
+            psi,
+            psi_inv_scaled,
+            omega,
+            omega_inv,
+        }
+    })
+}
+
+fn bit_reverse_permute(values: &mut [u64; N]) {
+    for i in 0..N {
+        let j = (i as u32).reverse_bits() >> (32 - LOG_N);
+        let j = j as usize;
+        if i < j {
+            values.swap(i, j);
+        }
+    }
+}
+
+/// In-place iterative radix-2 NTT with the given power table.
+fn transform(values: &mut [u64; N], powers: &[u64; N]) {
+    bit_reverse_permute(values);
+    let mut len = 2;
+    while len <= N {
+        let step = N / len;
+        for start in (0..N).step_by(len) {
+            for k in 0..len / 2 {
+                let w = powers[k * step];
+                let u = values[start + k];
+                let v = mul_mod(values[start + k + len / 2], w);
+                values[start + k] = add_mod(u, v);
+                values[start + k + len / 2] = sub_mod(u, v);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Lifts a signed integer into the field.
+#[inline]
+fn lift(v: i64) -> u64 {
+    if v >= 0 {
+        (v as u64) % PRIME
+    } else {
+        PRIME - ((v.unsigned_abs()) % PRIME)
+    }
+}
+
+/// Maps a field element back to the centered signed integer it encodes.
+#[inline]
+fn unlift(v: u64) -> i64 {
+    if v > PRIME / 2 {
+        -((PRIME - v) as i64)
+    } else {
+        v as i64
+    }
+}
+
+/// Negacyclic product of two length-256 signed sequences via the NTT.
+///
+/// Inputs must satisfy `Σ |aᵢ·bⱼ| < P/2` per output coefficient, which
+/// holds with huge margin for every operand in this workspace.
+#[must_use]
+pub fn negacyclic_mul(a: &[i64; N], b: &[i64; N]) -> [i64; N] {
+    let t = tables();
+    let mut fa = [0u64; N];
+    let mut fb = [0u64; N];
+    for j in 0..N {
+        fa[j] = mul_mod(lift(a[j]), t.psi[j]);
+        fb[j] = mul_mod(lift(b[j]), t.psi[j]);
+    }
+    transform(&mut fa, &t.omega);
+    transform(&mut fb, &t.omega);
+    for (x, &y) in fa.iter_mut().zip(fb.iter()) {
+        *x = mul_mod(*x, y);
+    }
+    transform(&mut fa, &t.omega_inv);
+    let mut out = [0i64; N];
+    for j in 0..N {
+        out[j] = unlift(mul_mod(fa[j], t.psi_inv_scaled[j]));
+    }
+    out
+}
+
+/// NTT product of two ring polynomials.
+///
+/// # Examples
+///
+/// ```
+/// use saber_ring::{PolyQ, ntt, schoolbook};
+///
+/// let a = PolyQ::from_fn(|i| (i * 31) as u16);
+/// let b = PolyQ::from_fn(|i| (i + 1) as u16);
+/// assert_eq!(ntt::mul(&a, &b), schoolbook::mul(&a, &b));
+/// ```
+#[must_use]
+pub fn mul<const QBITS: u32>(a: &Poly<QBITS>, b: &Poly<QBITS>) -> Poly<QBITS> {
+    Poly::from_signed(&negacyclic_mul(&a.to_i64(), &b.to_i64()))
+}
+
+/// NTT product of a public polynomial and a small secret.
+#[must_use]
+pub fn mul_asym<const QBITS: u32>(a: &Poly<QBITS>, s: &SecretPoly) -> Poly<QBITS> {
+    Poly::from_signed(&negacyclic_mul(&a.to_i64(), &s.to_i64()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::PolyQ;
+    use crate::schoolbook;
+
+    #[test]
+    fn root_has_exact_order_512() {
+        let psi = find_primitive_512th_root();
+        assert_eq!(pow_mod(psi, 512), 1);
+        assert_ne!(pow_mod(psi, 256), 1);
+        // ψ^256 must be −1 (the negacyclic sign).
+        assert_eq!(pow_mod(psi, 256), PRIME - 1);
+    }
+
+    #[test]
+    fn field_arithmetic_identities() {
+        assert_eq!(add_mod(PRIME - 1, 1), 0);
+        assert_eq!(sub_mod(0, 1), PRIME - 1);
+        assert_eq!(mul_mod(PRIME - 1, PRIME - 1), 1); // (−1)² = 1
+        let a = 0x1234_5678_9abc_def0u64 % PRIME;
+        assert_eq!(mul_mod(a, inv_mod(a)), 1);
+    }
+
+    #[test]
+    fn transform_roundtrip() {
+        let t = tables();
+        let mut v = [0u64; N];
+        for (i, slot) in v.iter_mut().enumerate() {
+            *slot = (i as u64).wrapping_mul(0x9e37_79b9) % PRIME;
+        }
+        let original = v;
+        transform(&mut v, &t.omega);
+        transform(&mut v, &t.omega_inv);
+        let n_inv = inv_mod(N as u64);
+        for (got, &want) in v.iter().zip(original.iter()) {
+            assert_eq!(mul_mod(*got, n_inv), want);
+        }
+    }
+
+    #[test]
+    fn matches_schoolbook() {
+        let a = PolyQ::from_fn(|i| (i as u16).wrapping_mul(113) ^ 0x1234);
+        let b = PolyQ::from_fn(|i| (i as u16).wrapping_mul(7).wrapping_add(5));
+        assert_eq!(mul(&a, &b), schoolbook::mul(&a, &b));
+    }
+
+    #[test]
+    fn asym_matches_schoolbook() {
+        let a = PolyQ::from_fn(|i| (i * 17 % 8192) as u16);
+        let s = SecretPoly::from_fn(|i| (((i * 3) % 11) as i8) - 5);
+        assert_eq!(mul_asym(&a, &s), schoolbook::mul_asym(&a, &s));
+    }
+
+    #[test]
+    fn worst_case_magnitudes() {
+        let a = PolyQ::from_fn(|_| 8191);
+        let s = SecretPoly::from_fn(|i| if i % 2 == 0 { 5 } else { -5 });
+        assert_eq!(mul_asym(&a, &s), schoolbook::mul_asym(&a, &s));
+    }
+
+    #[test]
+    fn lift_unlift_roundtrip() {
+        for v in [-8_400_000i64, -1, 0, 1, 8_400_000] {
+            assert_eq!(unlift(lift(v)), v);
+        }
+    }
+}

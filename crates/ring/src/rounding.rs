@@ -1,0 +1,101 @@
+//! Saber's scaling and rounding operations.
+//!
+//! Power-of-two moduli make Saber's noise *deterministic*: instead of
+//! adding sampled errors, coefficients are rounded by bit-shifting. The
+//! spec centers the rounding with small additive constants (`h`, `h1`,
+//! `h2`); this module provides both the constants and the shift
+//! operations.
+
+use crate::modulus::{EPS_P, EPS_Q};
+use crate::poly::Poly;
+
+/// The Saber constant `h1 = 2^(ε_q − ε_p − 1)` added before the
+/// key-generation/encryption rounding shift (value 4 for ε_q=13, ε_p=10).
+#[must_use]
+pub const fn h1() -> u16 {
+    1 << (EPS_Q - EPS_P - 1)
+}
+
+/// The Saber decryption constant
+/// `h2 = 2^(ε_p − 2) − 2^(ε_p − ε_T − 1) + 2^(ε_q − ε_p − 1)`,
+/// parameterized by `ε_T` (which differs per parameter set).
+#[must_use]
+pub const fn h2(eps_t: u32) -> u16 {
+    (1 << (EPS_P - 2)) - (1 << (EPS_P - eps_t - 1)) + (1 << (EPS_Q - EPS_P - 1))
+}
+
+/// Rounds a polynomial from modulus `2^FROM` down to `2^TO` by adding the
+/// centering constant `2^(FROM−TO−1)` and shifting right `FROM − TO` bits.
+///
+/// This is the `(x + h) >> d` pattern used throughout Saber (e.g.
+/// `b = ((Aᵀs + h) mod q) >> (ε_q − ε_p)`).
+///
+/// # Examples
+///
+/// ```
+/// use saber_ring::{PolyQ, PolyP, rounding};
+///
+/// let x = PolyQ::from_fn(|_| 4 + 8); // 12 rounds up at 3-bit shift
+/// let r: PolyP = rounding::scale_round(&x);
+/// assert_eq!(r.coeff(0), 2);
+/// ```
+#[must_use]
+pub fn scale_round<const FROM: u32, const TO: u32>(poly: &Poly<FROM>) -> Poly<TO> {
+    assert!(TO < FROM, "rounding must reduce the modulus");
+    let rounding = 1u16 << (FROM - TO - 1);
+    Poly::<TO>::from_fn(|i| poly.coeff(i).wrapping_add(rounding) >> (FROM - TO))
+}
+
+/// Truncating (floor) scaling, without the centering constant.
+#[must_use]
+pub fn scale_floor<const FROM: u32, const TO: u32>(poly: &Poly<FROM>) -> Poly<TO> {
+    assert!(TO < FROM, "scaling must reduce the modulus");
+    Poly::<TO>::from_fn(|i| poly.coeff(i) >> (FROM - TO))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::{PolyP, PolyQ};
+
+    #[test]
+    fn constants_match_spec_values() {
+        assert_eq!(h1(), 4);
+        // Saber (ε_T = 4): 256 − 32 + 4 = 228.
+        assert_eq!(h2(4), 228);
+        // LightSaber (ε_T = 3): 256 − 64 + 4 = 196.
+        assert_eq!(h2(3), 196);
+        // FireSaber (ε_T = 6): 256 − 8 + 4 = 252.
+        assert_eq!(h2(6), 252);
+    }
+
+    #[test]
+    fn round_vs_floor() {
+        // 7 >> 3 floors to 0 but rounds to 1 (7 + 4 = 11 >> 3 = 1).
+        let x = PolyQ::from_fn(|_| 7);
+        let rounded: PolyP = scale_round(&x);
+        let floored: PolyP = scale_floor(&x);
+        assert_eq!(rounded.coeff(0), 1);
+        assert_eq!(floored.coeff(0), 0);
+    }
+
+    #[test]
+    fn rounding_wraps_at_modulus_top() {
+        // q − 1 = 8191: 8191 + 4 wraps mod q to 3, >> 3 = 0.
+        let x = PolyQ::from_fn(|_| 8191);
+        let rounded: PolyP = scale_round(&x);
+        assert_eq!(rounded.coeff(0), 0);
+    }
+
+    #[test]
+    fn floor_then_shift_up_bounds_error() {
+        // |x − shift_up(floor(x))| < 2^(FROM−TO) for all residues.
+        for v in (0..8192u32).step_by(17) {
+            let x = PolyQ::from_fn(|_| v as u16);
+            let down: PolyP = scale_floor(&x);
+            let back: PolyQ = down.shift_up_to::<13>();
+            let err = i32::from(x.coeff(0)) - i32::from(back.coeff(0));
+            assert!((0..8).contains(&err), "v = {v}, err = {err}");
+        }
+    }
+}

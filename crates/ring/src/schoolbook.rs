@@ -1,0 +1,194 @@
+//! Reference schoolbook (negacyclic convolution) multiplication —
+//! Algorithm 1 of the paper.
+//!
+//! Two formulations are provided and tested against each other:
+//!
+//! * [`negacyclic_mul_i64`] — the index-folding convolution
+//!   `c_k = Σ_{i+j ≡ k} ± a_i·b_j`, the "obviously correct" oracle;
+//! * [`mul_asym_alg1`] — the literal loop structure of Algorithm 1 (inner
+//!   MAC loop plus per-iteration negacyclic shift of the second operand),
+//!   which is the schedule every hardware architecture in this workspace
+//!   implements.
+
+use crate::modulus::N;
+use crate::poly::Poly;
+use crate::secret::SecretPoly;
+
+/// Negacyclic integer convolution of two length-256 sequences.
+///
+/// Computes `c(x) = a(x)·b(x) mod (x^256 + 1)` over ℤ. With Saber-sized
+/// inputs (|a| < 2^13, |b| ≤ 5) the accumulators stay far below `i64`
+/// range, but the function is correct for any inputs whose products fit
+/// `i64`.
+///
+/// # Examples
+///
+/// ```
+/// use saber_ring::schoolbook::negacyclic_mul_i64;
+///
+/// let mut a = [0i64; 256];
+/// let mut b = [0i64; 256];
+/// a[255] = 1; // x^255
+/// b[1] = 1;   // x
+/// let c = negacyclic_mul_i64(&a, &b);
+/// assert_eq!(c[0], -1, "x^255 · x = x^256 = -1");
+/// ```
+#[must_use]
+pub fn negacyclic_mul_i64(a: &[i64; N], b: &[i64; N]) -> [i64; N] {
+    let mut acc = [0i64; N];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            let k = i + j;
+            if k < N {
+                acc[k] += ai * bj;
+            } else {
+                acc[k - N] -= ai * bj;
+            }
+        }
+    }
+    acc
+}
+
+/// Schoolbook product of two mod-`2^QBITS` polynomials.
+#[must_use]
+pub fn mul<const QBITS: u32>(a: &Poly<QBITS>, b: &Poly<QBITS>) -> Poly<QBITS> {
+    let acc = negacyclic_mul_i64(&a.to_i64(), &b.to_i64());
+    Poly::from_signed(&acc)
+}
+
+/// Schoolbook product of a public polynomial and a small secret, the
+/// asymmetric multiplication Saber actually performs.
+#[must_use]
+pub fn mul_asym<const QBITS: u32>(a: &Poly<QBITS>, s: &SecretPoly) -> Poly<QBITS> {
+    let acc = negacyclic_mul_i64(&a.to_i64(), &s.to_i64());
+    Poly::from_signed(&acc)
+}
+
+/// The literal Algorithm 1 of the paper: for each public coefficient
+/// `a_i`, MAC `acc[j] += b[j]·a_i` for all `j`, then negacyclically shift
+/// `b`.
+///
+/// This mirrors the hardware schedule (one outer iteration per clock
+/// cycle with 256 parallel MACs) and is used to validate that the shift
+/// -based formulation equals the convolution oracle.
+#[must_use]
+pub fn mul_asym_alg1<const QBITS: u32>(a: &Poly<QBITS>, s: &SecretPoly) -> Poly<QBITS> {
+    let mut acc = [0i64; N];
+    let mut b = s.clone();
+    for i in 0..N {
+        let ai = i64::from(a.coeff(i));
+        for (j, slot) in acc.iter_mut().enumerate() {
+            *slot += i64::from(b.coeff(j)) * ai;
+        }
+        b = b.mul_by_x();
+    }
+    Poly::from_signed(&acc)
+}
+
+/// Linear (non-cyclic) schoolbook product; the low-level building block
+/// for Karatsuba and Toom-Cook. Output length is `a.len() + b.len() - 1`.
+#[must_use]
+pub fn linear_mul_i64(a: &[i64], b: &[i64]) -> Vec<i64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0i64; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] += ai * bj;
+        }
+    }
+    out
+}
+
+/// Folds a linear product of length `2N − 1` (or less) back into the
+/// negacyclic ring: coefficient `k ≥ N` is subtracted from `k − N`.
+#[must_use]
+pub fn fold_negacyclic(linear: &[i64]) -> [i64; N] {
+    assert!(
+        linear.len() < 2 * N,
+        "linear product too long for the ring fold"
+    );
+    let mut out = [0i64; N];
+    for (k, &v) in linear.iter().enumerate() {
+        if k < N {
+            out[k] += v;
+        } else {
+            out[k - N] -= v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::PolyQ;
+
+    fn poly(seed: u16) -> PolyQ {
+        PolyQ::from_fn(|i| (i as u16).wrapping_mul(seed).wrapping_add(seed >> 3))
+    }
+
+    fn secret(seed: i8) -> SecretPoly {
+        SecretPoly::from_fn(|i| (((i as i16 * seed as i16 + 7) % 9) - 4) as i8)
+    }
+
+    #[test]
+    fn alg1_matches_convolution() {
+        for seed in [1u16, 257, 999, 4099] {
+            let a = poly(seed);
+            let s = secret((seed % 5) as i8 + 1);
+            assert_eq!(mul_asym(&a, &s), mul_asym_alg1(&a, &s), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multiplication_by_one_is_identity() {
+        let a = poly(33);
+        let one = SecretPoly::from_fn(|i| i8::from(i == 0));
+        assert_eq!(mul_asym(&a, &one), a);
+    }
+
+    #[test]
+    fn multiplication_by_x_is_negacyclic_shift() {
+        let a = poly(77);
+        let x = SecretPoly::from_fn(|i| i8::from(i == 1));
+        assert_eq!(mul_asym(&a, &x), a.mul_by_x());
+    }
+
+    #[test]
+    fn distributes_over_addition() {
+        let a = poly(11);
+        let b = poly(23);
+        let s = secret(3);
+        let lhs = mul_asym(&(&a + &b), &s);
+        let rhs = &mul_asym(&a, &s) + &mul_asym(&b, &s);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn symmetric_mul_commutes() {
+        let a = poly(5);
+        let b = poly(91);
+        assert_eq!(mul(&a, &b), mul(&b, &a));
+    }
+
+    #[test]
+    fn linear_then_fold_equals_negacyclic() {
+        let a = poly(41).to_i64();
+        let s = secret(2).to_i64();
+        let lin = linear_mul_i64(&a, &s);
+        assert_eq!(fold_negacyclic(&lin), negacyclic_mul_i64(&a, &s));
+    }
+
+    #[test]
+    fn linear_mul_of_empty_is_empty() {
+        assert!(linear_mul_i64(&[], &[1, 2]).is_empty());
+    }
+}

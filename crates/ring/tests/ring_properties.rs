@@ -1,0 +1,155 @@
+//! Property-based tests for the ring substrate: algebraic laws, multiplier
+//! cross-agreement, and serialization roundtrips.
+
+use proptest::prelude::*;
+use saber_ring::{
+    karatsuba, modulus::N, ntt, ntt_crt, packing, rounding, schoolbook, toom, Poly, PolyP, PolyQ,
+    SecretPoly,
+};
+
+fn arb_poly_q() -> impl Strategy<Value = PolyQ> {
+    proptest::collection::vec(0u16..8192, N).prop_map(|v| PolyQ::from_fn(|i| v[i]))
+}
+
+fn arb_poly_p() -> impl Strategy<Value = PolyP> {
+    proptest::collection::vec(0u16..1024, N).prop_map(|v| PolyP::from_fn(|i| v[i]))
+}
+
+fn arb_secret() -> impl Strategy<Value = SecretPoly> {
+    proptest::collection::vec(-5i8..=5, N).prop_map(|v| SecretPoly::from_fn(|i| v[i]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn addition_commutes(a in arb_poly_q(), b in arb_poly_q()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn addition_associates(a in arb_poly_q(), b in arb_poly_q(), c in arb_poly_q()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn multiplication_distributes(a in arb_poly_q(), b in arb_poly_q(), s in arb_secret()) {
+        let lhs = schoolbook::mul_asym(&(&a + &b), &s);
+        let rhs = &schoolbook::mul_asym(&a, &s) + &schoolbook::mul_asym(&b, &s);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn symmetric_multiplication_commutes(a in arb_poly_q(), b in arb_poly_q()) {
+        prop_assert_eq!(schoolbook::mul(&a, &b), schoolbook::mul(&b, &a));
+    }
+
+    #[test]
+    fn mul_by_x_agrees_with_monomial_product(a in arb_poly_q()) {
+        let x = SecretPoly::from_fn(|i| i8::from(i == 1));
+        prop_assert_eq!(schoolbook::mul_asym(&a, &x), a.mul_by_x());
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook(a in arb_poly_q(), s in arb_secret(), levels in 0u32..=8) {
+        prop_assert_eq!(
+            karatsuba::mul_asym(&a, &s, levels),
+            schoolbook::mul_asym(&a, &s)
+        );
+    }
+
+    #[test]
+    fn toom_matches_schoolbook(a in arb_poly_q(), s in arb_secret()) {
+        prop_assert_eq!(toom::mul_asym(&a, &s), schoolbook::mul_asym(&a, &s));
+    }
+
+    #[test]
+    fn ntt_matches_schoolbook(a in arb_poly_q(), s in arb_secret()) {
+        prop_assert_eq!(ntt::mul_asym(&a, &s), schoolbook::mul_asym(&a, &s));
+    }
+
+    #[test]
+    fn toom_symmetric_matches_schoolbook(a in arb_poly_q(), b in arb_poly_q()) {
+        prop_assert_eq!(toom::mul(&a, &b), schoolbook::mul(&a, &b));
+    }
+
+    #[test]
+    fn ntt_symmetric_matches_schoolbook(a in arb_poly_q(), b in arb_poly_q()) {
+        prop_assert_eq!(ntt::mul(&a, &b), schoolbook::mul(&a, &b));
+    }
+
+    #[test]
+    fn ntt_crt_matches_schoolbook(a in arb_poly_q(), s in arb_secret()) {
+        prop_assert_eq!(ntt_crt::mul_asym(&a, &s), schoolbook::mul_asym(&a, &s));
+    }
+
+    #[test]
+    fn ntt_crt_symmetric_matches_schoolbook(a in arb_poly_q(), b in arb_poly_q()) {
+        prop_assert_eq!(ntt_crt::mul(&a, &b), schoolbook::mul(&a, &b));
+    }
+
+    #[test]
+    fn mod_p_reduction_commutes_with_multiplication(a in arb_poly_q(), s in arb_secret()) {
+        // (a·s mod q) mod p == (a mod p)·s mod p — the property that lets
+        // the 13-bit hardware datapath serve mod-p multiplications.
+        let wide = schoolbook::mul_asym(&a, &s).reduce_to::<10>();
+        let narrow = schoolbook::mul_asym(&a.reduce_to::<10>().embed_to::<13>(), &s)
+            .reduce_to::<10>();
+        prop_assert_eq!(wide, narrow);
+    }
+
+    #[test]
+    fn poly_byte_roundtrip(a in arb_poly_q()) {
+        prop_assert_eq!(
+            packing::poly_from_bytes::<13>(&packing::poly_to_bytes(&a)),
+            a
+        );
+    }
+
+    #[test]
+    fn poly10_byte_roundtrip(a in arb_poly_p()) {
+        prop_assert_eq!(
+            packing::poly_from_bytes::<10>(&packing::poly_to_bytes(&a)),
+            a
+        );
+    }
+
+    #[test]
+    fn word_image_roundtrip(a in arb_poly_q()) {
+        let words = packing::poly13_to_words(&a);
+        prop_assert_eq!(words.len(), 52);
+        prop_assert_eq!(packing::poly13_from_words(&words), a);
+    }
+
+    #[test]
+    fn secret_word_image_roundtrip(s in arb_secret()) {
+        let words = packing::secret_to_words(&s);
+        prop_assert_eq!(packing::secret_from_words(&words).unwrap(), s);
+    }
+
+    #[test]
+    fn rounding_error_is_bounded(a in arb_poly_q()) {
+        // |a − 8·round(a)| ≤ 4 (mod q, centered).
+        let down: PolyP = rounding::scale_round(&a);
+        let back: PolyQ = down.shift_up_to::<13>();
+        let diff = &a - &back;
+        for i in 0..N {
+            let err = diff.coeff_centered(i);
+            prop_assert!(err.abs() <= 4, "coefficient {} error {}", i, err);
+        }
+    }
+
+    #[test]
+    fn negacyclic_shift_preserves_products(a in arb_poly_q(), s in arb_secret()) {
+        // (x·a)·s == x·(a·s).
+        let lhs = schoolbook::mul_asym(&a.mul_by_x(), &s);
+        let rhs = schoolbook::mul_asym(&a, &s).mul_by_x();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn message_poly_roundtrip(msg in proptest::array::uniform32(any::<u8>())) {
+        let poly: Poly<1> = packing::message_to_poly(&msg);
+        prop_assert_eq!(packing::poly_to_message(&poly), msg);
+    }
+}

@@ -1,0 +1,96 @@
+//! Design-space exploration: the area/performance landscape of every
+//! multiplier in the paper, §4.2 trade-offs included.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+//!
+//! Prints cycles × area for all architecture variants and marks the
+//! Pareto-optimal points — the quantitative version of the paper's
+//! "diverse application goals" argument.
+
+use saber::arch::{
+    BaselineMultiplier, CentralizedMultiplier, DspPackedMultiplier, HwMultiplier,
+    KaratsubaHwMultiplier, LightweightMultiplier, MemoryStrategy, ScaledLightweightMultiplier,
+    SlidingLightweightMultiplier, ToomCookHwMultiplier,
+};
+use saber::ring::{PolyQ, SecretPoly};
+
+fn main() {
+    let public = PolyQ::from_fn(|i| (i as u16).wrapping_mul(4099) & 0x1fff);
+    let secret = SecretPoly::from_fn(|i| (((i * 7) % 9) as i8) - 4);
+
+    let mut designs: Vec<Box<dyn HwMultiplier>> = vec![
+        Box::new(LightweightMultiplier::new()),
+        Box::new(SlidingLightweightMultiplier::new()),
+        Box::new(ScaledLightweightMultiplier::new(
+            8,
+            MemoryStrategy::AccumulatorBuffer,
+        )),
+        Box::new(ScaledLightweightMultiplier::new(
+            8,
+            MemoryStrategy::WiderBus,
+        )),
+        Box::new(ScaledLightweightMultiplier::new(
+            16,
+            MemoryStrategy::AccumulatorBuffer,
+        )),
+        Box::new(ScaledLightweightMultiplier::new(
+            16,
+            MemoryStrategy::WiderBus,
+        )),
+        Box::new(BaselineMultiplier::new(256)),
+        Box::new(BaselineMultiplier::new(512)),
+        Box::new(CentralizedMultiplier::new(256)),
+        Box::new(CentralizedMultiplier::new(512)),
+        Box::new(DspPackedMultiplier::new()),
+        Box::new(CentralizedMultiplier::new(1024)),
+        Box::new(ToomCookHwMultiplier::new()),
+        Box::new(KaratsubaHwMultiplier::new(8)),
+    ];
+
+    let mut rows = Vec::new();
+    for hw in designs.iter_mut() {
+        let _ = hw.multiply(&public, &secret);
+        let r = hw.report();
+        rows.push((r.name.clone(), r.cycles.total(), r.area));
+    }
+
+    // Pareto front over (cycles, LUTs), DSPs charged at 100 LUT each so
+    // HS-II doesn't look free.
+    let cost = |area: &saber::hw::Area| u64::from(area.luts) + 100 * u64::from(area.dsps);
+    let pareto: Vec<bool> = rows
+        .iter()
+        .map(|(_, cycles, area)| {
+            !rows.iter().any(|(_, other_cycles, other_area)| {
+                (*other_cycles < *cycles && cost(other_area) <= cost(area))
+                    || (*other_cycles <= *cycles && cost(other_area) < cost(area))
+            })
+        })
+        .collect();
+
+    println!(
+        "{:<34} {:>9} {:>8} {:>7} {:>5}  pareto",
+        "architecture", "cycles", "LUT", "FF", "DSP"
+    );
+    println!("{}", "-".repeat(78));
+    for ((name, cycles, area), optimal) in rows.iter().zip(pareto.iter()) {
+        println!(
+            "{:<34} {:>9} {:>8} {:>7} {:>5}  {}",
+            name,
+            cycles,
+            area.luts,
+            area.ffs,
+            area.dsps,
+            if *optimal { "◆" } else { "" }
+        );
+    }
+
+    let front: Vec<&str> = rows
+        .iter()
+        .zip(pareto.iter())
+        .filter(|(_, p)| **p)
+        .map(|((n, _, _), _)| n.as_str())
+        .collect();
+    println!("\nPareto-optimal designs: {}", front.join(", "));
+}

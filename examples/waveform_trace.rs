@@ -1,0 +1,61 @@
+//! Signal-level debugging: trace a miniature accumulator-streaming
+//! pipeline and dump a VCD waveform.
+//!
+//! ```sh
+//! cargo run --release --example waveform_trace
+//! # then open target/lw_pipeline.vcd in GTKWave or any VCD viewer
+//! ```
+//!
+//! Demonstrates the `saber_hw::Tracer` on the §4.1 port-contention
+//! pattern: the accumulator stream saturates the BRAM ports until a
+//! public-word load steals the read port and stalls the datapath.
+
+use std::fs;
+
+use saber::hw::{Bram, Tracer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mem = Bram::new(32);
+    mem.preload(0, &[11, 22, 33, 44, 55, 66, 77, 88]);
+    let mut trace = Tracer::new();
+
+    // Steady accumulator streaming with a load stall in the middle.
+    let mut stalled_cycles = 0u64;
+    for cycle in 0..12u64 {
+        let steal = cycle == 5; // a public word load steals the read port
+        trace.record("stall", u64::from(steal));
+        if steal {
+            mem.issue_read(31)?; // the "public polynomial" word
+            trace.record("read_addr", 31);
+            stalled_cycles += 1;
+        } else {
+            let addr = (cycle % 8) as usize;
+            mem.issue_read(addr)?;
+            trace.record("read_addr", addr as u64);
+            mem.issue_write(16 + addr, cycle * 100)?;
+            trace.record("write_addr", (16 + addr) as u64);
+        }
+        mem.tick();
+        if let Some(data) = mem.read_data() {
+            trace.record("read_data", data);
+        }
+        trace.tick();
+    }
+
+    let vcd = trace.to_vcd();
+    fs::create_dir_all("target")?;
+    fs::write("target/lw_pipeline.vcd", &vcd)?;
+
+    println!(
+        "traced {} cycles ({} stalled) across {} signals",
+        trace.cycle(),
+        stalled_cycles,
+        trace.signal_count()
+    );
+    println!("stall events: {:?}", trace.changes("stall"));
+    println!(
+        "VCD written to target/lw_pipeline.vcd ({} bytes)",
+        vcd.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! `saber-sim` — command-line front end to the DAC 2021 reproduction.
+//!
+//! ```sh
+//! cargo run --release --bin saber-sim -- table1
+//! cargo run --release --bin saber-sim -- mult --arch hs2
+//! cargo run --release --bin saber-sim -- kem --params firesaber --arch lw
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match saber::cli::parse(&args) {
+        Ok(command) => {
+            let mut out = String::new();
+            saber::cli::run(&command, &mut out).expect("writing to a String cannot fail");
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}\n\n{}", saber::cli::usage());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Command-line front end shared by the `saber-sim` binary.
+//!
+//! Hand-rolled argument handling (the workspace deliberately keeps its
+//! dependency set minimal); each subcommand maps onto one of the
+//! reproduction's entry points.
+
+use std::fmt;
+
+use saber_bench::coprocessor::standard_projections;
+use saber_bench::tables::format_table1;
+use saber_coproc::disasm::{disassemble, profile};
+use saber_coproc::programs::{encaps_program, keygen_program, run_decaps};
+use saber_coproc::Coprocessor;
+use saber_core::{
+    BaselineMultiplier, CentralizedMultiplier, DspPackedMultiplier, HwMultiplier,
+    KaratsubaHwMultiplier, LightweightMultiplier, MemoryStrategy, ScaledLightweightMultiplier,
+    SlidingLightweightMultiplier, ToomCookHwMultiplier,
+};
+use saber_hw::{Fpga, PowerModel};
+use saber_kem::params::{SaberParams, FIRE_SABER, LIGHT_SABER, SABER};
+use saber_kem::{decaps, encaps, keygen};
+use saber_ring::{PolyMultiplier, PolyQ, SecretPoly};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Run one multiplication on the named architecture.
+    Mult {
+        /// Architecture key (see [`architecture_keys`]).
+        arch: String,
+    },
+    /// Full KEM round-trip on the named backend.
+    Kem {
+        /// Parameter-set key (`lightsaber` / `saber` / `firesaber`).
+        params: String,
+        /// Architecture key.
+        arch: String,
+    },
+    /// Print the Table-1 reproduction.
+    Table1,
+    /// Print the full-coprocessor projection.
+    Coprocessor,
+    /// Print the LW power breakdown.
+    Power,
+    /// Run the KEM as instruction-set coprocessor programs.
+    KemProgram {
+        /// Parameter-set key.
+        params: String,
+        /// Architecture key.
+        arch: String,
+    },
+    /// Disassemble a coprocessor program (`keygen` or `encaps`).
+    Disasm {
+        /// Which program (`keygen` / `encaps`).
+        op: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Error produced when an invocation cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCommandError(String);
+
+impl fmt::Display for ParseCommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCommandError {}
+
+/// The accepted architecture keys.
+#[must_use]
+pub fn architecture_keys() -> &'static [&'static str] {
+    &[
+        "baseline-256",
+        "baseline-512",
+        "hs1-256",
+        "hs1-512",
+        "hs2",
+        "hs2-256",
+        "lw",
+        "lw-sliding",
+        "lw-8",
+        "lw-16",
+        "toom-hw",
+        "karatsuba-hw",
+    ]
+}
+
+/// Instantiates an architecture by key.
+///
+/// # Errors
+///
+/// Returns [`ParseCommandError`] for an unknown key.
+pub fn build_architecture(key: &str) -> Result<Box<dyn HwMultiplier>, ParseCommandError> {
+    Ok(match key {
+        "baseline-256" => Box::new(BaselineMultiplier::new(256)),
+        "baseline-512" => Box::new(BaselineMultiplier::new(512)),
+        "hs1-256" => Box::new(CentralizedMultiplier::new(256)),
+        "hs1-512" => Box::new(CentralizedMultiplier::new(512)),
+        "hs2" => Box::new(DspPackedMultiplier::new()),
+        "hs2-256" => Box::new(DspPackedMultiplier::with_dsps(256)),
+        "lw" => Box::new(LightweightMultiplier::new()),
+        "lw-sliding" => Box::new(SlidingLightweightMultiplier::new()),
+        "lw-8" => Box::new(ScaledLightweightMultiplier::new(
+            8,
+            MemoryStrategy::AccumulatorBuffer,
+        )),
+        "lw-16" => Box::new(ScaledLightweightMultiplier::new(
+            16,
+            MemoryStrategy::AccumulatorBuffer,
+        )),
+        "toom-hw" => Box::new(ToomCookHwMultiplier::new()),
+        "karatsuba-hw" => Box::new(KaratsubaHwMultiplier::new(8)),
+        other => {
+            return Err(ParseCommandError(format!(
+                "unknown architecture `{other}`; expected one of: {}",
+                architecture_keys().join(", ")
+            )))
+        }
+    })
+}
+
+fn parse_params(key: &str) -> Result<&'static SaberParams, ParseCommandError> {
+    match key {
+        "lightsaber" => Ok(&LIGHT_SABER),
+        "saber" => Ok(&SABER),
+        "firesaber" => Ok(&FIRE_SABER),
+        other => Err(ParseCommandError(format!(
+            "unknown parameter set `{other}`; expected lightsaber, saber or firesaber"
+        ))),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseCommandError`] describing the problem.
+pub fn parse(args: &[String]) -> Result<Command, ParseCommandError> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+        Some("mult") => {
+            let arch = flag_value(args, "--arch")
+                .ok_or_else(|| ParseCommandError("mult requires --arch <key>".into()))?;
+            build_architecture(arch)?; // validate early
+            Ok(Command::Mult { arch: arch.into() })
+        }
+        Some("kem") => {
+            let params = flag_value(args, "--params").unwrap_or("saber");
+            let arch = flag_value(args, "--arch").unwrap_or("hs1-256");
+            parse_params(params)?;
+            build_architecture(arch)?;
+            Ok(Command::Kem {
+                params: params.into(),
+                arch: arch.into(),
+            })
+        }
+        Some("table1") => Ok(Command::Table1),
+        Some("kem-program") => {
+            let params = flag_value(args, "--params").unwrap_or("saber");
+            let arch = flag_value(args, "--arch").unwrap_or("hs1-256");
+            parse_params(params)?;
+            build_architecture(arch)?;
+            Ok(Command::KemProgram {
+                params: params.into(),
+                arch: arch.into(),
+            })
+        }
+        Some("disasm") => {
+            let op = flag_value(args, "--op").unwrap_or("keygen");
+            if !matches!(op, "keygen" | "encaps") {
+                return Err(ParseCommandError(format!(
+                    "unknown program `{op}`; expected keygen or encaps"
+                )));
+            }
+            Ok(Command::Disasm { op: op.into() })
+        }
+        Some("coprocessor") => Ok(Command::Coprocessor),
+        Some("power") => Ok(Command::Power),
+        Some(other) => Err(ParseCommandError(format!(
+            "unknown command `{other}` (try `saber-sim help`)"
+        ))),
+    }
+}
+
+/// Usage text.
+#[must_use]
+pub fn usage() -> String {
+    format!(
+        "saber-sim — cycle-accurate Saber multiplier simulator (DAC 2021 reproduction)\n\n\
+         USAGE:\n\
+         \x20 saber-sim mult --arch <ARCH>             one multiplication + Table-1 row\n\
+         \x20 saber-sim kem [--params <P>] [--arch <ARCH>]  full KEM round-trip on hardware\n\
+         \x20 saber-sim table1                         print the Table-1 reproduction\n\
+         \x20 saber-sim coprocessor                    full-coprocessor projection (§5.2)\n\
+         \x20 saber-sim kem-program [--params <P>] [--arch <ARCH>]  KEM as coprocessor programs\n\
+         \x20 saber-sim disasm [--op keygen|encaps]    disassemble a coprocessor program\n\
+         \x20 saber-sim power                          LW power breakdown (§5)\n\n\
+         ARCH: {}\n\
+         P:    lightsaber | saber | firesaber\n",
+        architecture_keys().join(" | ")
+    )
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Propagates formatting errors from `out`.
+pub fn run(command: &Command, out: &mut dyn fmt::Write) -> fmt::Result {
+    match command {
+        Command::Help => writeln!(out, "{}", usage()),
+        Command::Table1 => writeln!(out, "{}", format_table1()),
+        Command::Coprocessor => {
+            writeln!(
+                out,
+                "{:<28} {:>8} {:>5} {:>9} {:>9} {:>9}",
+                "multiplier", "LUT", "DSP", "keygen", "encaps", "decaps"
+            )?;
+            for p in standard_projections() {
+                writeln!(
+                    out,
+                    "{:<28} {:>8} {:>5} {:>9} {:>9} {:>9}",
+                    p.multiplier,
+                    p.area.luts,
+                    p.area.dsps,
+                    p.keygen_cycles,
+                    p.encaps_cycles,
+                    p.decaps_cycles
+                )?;
+            }
+            Ok(())
+        }
+        Command::Power => {
+            let mut hw = LightweightMultiplier::new();
+            let (a, s) = demo_operands();
+            let _ = hw.multiply(&a, &s);
+            let activity = hw.report().activity.expect("LW tracks activity");
+            let power = PowerModel::for_platform(Fpga::Artix7).estimate(&activity, 100.0);
+            writeln!(
+                out,
+                "LW @ 100 MHz: total {:.3} W (dynamic {:.3} W, IO share {:.0}%, logic {:.3} W)",
+                power.total_w(),
+                power.dynamic_w(),
+                100.0 * power.io_share(),
+                power.logic_w
+            )
+        }
+        Command::Disasm { op } => {
+            let program = if op == "keygen" {
+                keygen_program(&SABER, &[0; 32])
+            } else {
+                encaps_program(&SABER, &vec![0u8; SABER.public_key_bytes()], &[0; 32])
+            };
+            writeln!(out, "{}", disassemble(&program))?;
+            writeln!(out, "opcode histogram:")?;
+            for (mnemonic, count) in profile(&program) {
+                writeln!(out, "  {mnemonic:<8} ×{count}")?;
+            }
+            Ok(())
+        }
+        Command::KemProgram { params, arch } => {
+            let params = parse_params(params).expect("validated at parse time");
+            let mut hw = build_architecture(arch).expect("validated at parse time");
+            let mut cpu = Coprocessor::new(hw.as_mut());
+            cpu.run(&keygen_program(params, &[42; 32]))
+                .expect("keygen program is well-formed");
+            let pk = cpu.output("pk").expect("pk stored").to_vec();
+            let mut seed_s = [0u8; 32];
+            seed_s.copy_from_slice(cpu.output("seed_s").expect("stored"));
+            let mut z = [0u8; 32];
+            z.copy_from_slice(cpu.output("z").expect("stored"));
+            let kg = cpu.cycles();
+
+            let mut hw2 = build_architecture(arch).expect("validated");
+            let mut cpu2 = Coprocessor::new(hw2.as_mut());
+            cpu2.run(&encaps_program(params, &pk, &[7; 32]))
+                .expect("encaps program is well-formed");
+            let ct = cpu2.output("ct").expect("stored").to_vec();
+            let ss1 = cpu2.output("shared_secret").expect("stored").to_vec();
+            let enc = cpu2.cycles();
+
+            let mut hw3 = build_architecture(arch).expect("validated");
+            let (ss2, dec) = run_decaps(params, &pk, &seed_s, &z, &ct, hw3.as_mut())
+                .expect("decaps programs are well-formed");
+            writeln!(
+                out,
+                "{} as coprocessor programs on {arch}:\n  keygen {} cy, encaps {} cy (mult {:.0}%), decaps {} cy — secrets {}",
+                params.name,
+                kg.total(),
+                enc.total(),
+                100.0 * enc.multiplication_share(),
+                dec.total(),
+                if ss1 == ss2 { "MATCH" } else { "MISMATCH" }
+            )
+        }
+        Command::Mult { arch } => {
+            let mut hw = build_architecture(arch).expect("validated at parse time");
+            let (a, s) = demo_operands();
+            let product = hw.multiply(&a, &s);
+            let check = saber_ring::schoolbook::mul_asym(&a, &s);
+            writeln!(
+                out,
+                "{}\nproduct check vs schoolbook: {}",
+                hw.report(),
+                if product == check { "OK" } else { "MISMATCH" }
+            )
+        }
+        Command::Kem { params, arch } => {
+            let params = parse_params(params).expect("validated at parse time");
+            let mut hw = build_architecture(arch).expect("validated at parse time");
+            let (pk, sk) = keygen(params, &[42; 32], hw.as_mut());
+            let (ct, ss1) = encaps(&pk, &[7; 32], hw.as_mut());
+            let ss2 = decaps(&sk, &ct, hw.as_mut());
+            writeln!(
+                out,
+                "{} on {}: shared secrets {} ({} multiplications simulated, {} per mult)",
+                params.name,
+                hw.name(),
+                if ss1 == ss2 { "MATCH" } else { "MISMATCH" },
+                params.multiplication_counts().keygen
+                    + params.multiplication_counts().encaps
+                    + params.multiplication_counts().decaps,
+                hw.report().cycles
+            )
+        }
+    }
+}
+
+fn demo_operands() -> (PolyQ, SecretPoly) {
+    (
+        PolyQ::from_fn(|i| (i as u16).wrapping_mul(2718) & 0x1fff),
+        SecretPoly::from_fn(|i| (((i * 5) % 9) as i8) - 4),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(parse(&args(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["table1"])).unwrap(), Command::Table1);
+        assert_eq!(parse(&args(&["power"])).unwrap(), Command::Power);
+        assert_eq!(
+            parse(&args(&["mult", "--arch", "hs2"])).unwrap(),
+            Command::Mult { arch: "hs2".into() }
+        );
+        assert_eq!(
+            parse(&args(&["kem", "--params", "firesaber", "--arch", "lw"])).unwrap(),
+            Command::Kem {
+                params: "firesaber".into(),
+                arch: "lw".into()
+            }
+        );
+    }
+
+    #[test]
+    fn kem_defaults() {
+        assert_eq!(
+            parse(&args(&["kem"])).unwrap(),
+            Command::Kem {
+                params: "saber".into(),
+                arch: "hs1-256".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_inputs() {
+        assert!(parse(&args(&["frobnicate"])).is_err());
+        assert!(parse(&args(&["mult", "--arch", "nope"]))
+            .unwrap_err()
+            .to_string()
+            .contains("unknown architecture"));
+        assert!(parse(&args(&["kem", "--params", "kyber"])).is_err());
+        assert!(parse(&args(&["mult"])).is_err());
+    }
+
+    #[test]
+    fn every_architecture_key_builds() {
+        for key in architecture_keys() {
+            assert!(build_architecture(key).is_ok(), "{key}");
+        }
+    }
+
+    #[test]
+    fn run_mult_reports_ok() {
+        let mut out = String::new();
+        run(
+            &Command::Mult {
+                arch: "hs1-256".into(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("OK"), "{out}");
+        assert!(out.contains("HS-I 256"), "{out}");
+    }
+
+    #[test]
+    fn run_kem_matches() {
+        let mut out = String::new();
+        run(
+            &Command::Kem {
+                params: "saber".into(),
+                arch: "hs1-512".into(),
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("MATCH"), "{out}");
+    }
+
+    #[test]
+    fn run_table1_prints_rows() {
+        let mut out = String::new();
+        run(&Command::Table1, &mut out).unwrap();
+        assert!(out.contains("HS-II"));
+        assert!(out.contains("LW"));
+    }
+
+    #[test]
+    fn usage_mentions_all_architectures() {
+        let text = usage();
+        for key in architecture_keys() {
+            assert!(text.contains(key), "usage missing {key}");
+        }
+    }
+}

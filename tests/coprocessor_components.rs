@@ -1,0 +1,89 @@
+//! Cross-crate validation of the coprocessor component models: the
+//! hardware Keccak core and sampler must agree with the software
+//! substrate the KEM actually uses, and their measured throughput must
+//! support the cost-model constants.
+
+use saber::hw::keccak_core::PERMUTATION_CYCLES;
+use saber::hw::{KeccakCore, SamplerCore};
+use saber::keccak::{keccak_f1600, Shake128};
+use saber::kem::expand::gen_secret;
+use saber::kem::params::{ALL_PARAMS, SABER};
+
+#[test]
+fn keccak_core_matches_the_software_substrate() {
+    // Drive both through two permutations with interleaved absorbs.
+    let mut core = KeccakCore::new();
+    let mut reference = [0u64; 25];
+
+    for (lane, slot) in reference.iter_mut().enumerate().take(17) {
+        let word = 0x0123_4567_89ab_cdefu64.rotate_left(lane as u32);
+        core.write_word(lane, word);
+        *slot ^= word;
+    }
+    core.start_permutation();
+    assert_eq!(core.run_to_completion(), PERMUTATION_CYCLES);
+    keccak_f1600(&mut reference);
+    assert_eq!(core.state(), &reference);
+
+    core.write_word(3, 42);
+    reference[3] ^= 42;
+    core.start_permutation();
+    let _ = core.run_to_completion();
+    keccak_f1600(&mut reference);
+    assert_eq!(core.state(), &reference);
+}
+
+#[test]
+fn sampler_core_reproduces_the_kem_secret_distribution() {
+    // Feed the sampler the same domain-separated SHAKE stream the KEM's
+    // `gen_secret` consumes and compare coefficient-for-coefficient.
+    let seed = [9u8; 32];
+    let expected = gen_secret(&seed, &SABER);
+
+    let mut xof = Shake128::new();
+    xof.absorb(&seed);
+    xof.absorb(&[0x53]); // the KEM's secret domain byte
+    let mut sampler = SamplerCore::new(SABER.mu);
+    let mut coeffs = Vec::new();
+    while coeffs.len() < SABER.rank * 256 {
+        let mut word = [0u8; 8];
+        xof.read(&mut word);
+        coeffs.extend(sampler.push_word(u64::from_le_bytes(word)));
+    }
+    for (poly_index, poly) in expected.iter().enumerate() {
+        for i in 0..256 {
+            assert_eq!(
+                coeffs[poly_index * 256 + i],
+                poly.coeff(i),
+                "poly {poly_index}, coeff {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sampler_throughput_supports_the_cost_model() {
+    // The cost model charges ⌈bytes/rate⌉ permutations for sampling and
+    // assumes the sampler itself never bottlenecks: it must emit at least
+    // one polynomial per SHAKE block's worth of cycles for every set.
+    for params in &ALL_PARAMS {
+        let sampler = SamplerCore::new(params.mu);
+        let words_per_poly = (256 * params.mu as usize).div_ceil(64) as f64;
+        let cycles_for_poly = words_per_poly; // one word per cycle
+        assert!(
+            cycles_for_poly < 2.0 * 24.0 + 21.0,
+            "{}: sampler ({cycles_for_poly} cy/poly) slower than its SHAKE supply",
+            params.name
+        );
+        assert!(sampler.throughput() >= 6.0);
+    }
+}
+
+#[test]
+fn keccak_core_area_matches_the_projection_block() {
+    // The coprocessor projection uses the core's inventory; sanity-bound
+    // it against the scale of real SHA3 FPGA cores (3–8 k LUTs).
+    let area = KeccakCore::area();
+    assert!(area.luts >= 3_000 && area.luts <= 8_000);
+    assert_eq!(area.ffs, 1_600);
+}

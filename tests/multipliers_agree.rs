@@ -1,0 +1,112 @@
+//! Cross-crate integration: every multiplier backend in the workspace —
+//! four software algorithms and six cycle-accurate hardware models —
+//! must compute identical products.
+
+use proptest::prelude::*;
+use saber::arch::{
+    BaselineMultiplier, CentralizedMultiplier, DspPackedMultiplier, LightweightMultiplier,
+    MemoryStrategy, ScaledLightweightMultiplier,
+};
+use saber::ring::mul::{
+    KaratsubaMultiplier, NttMultiplier, SchoolbookMultiplier, ToomCook4Multiplier,
+};
+use saber::ring::{PolyMultiplier, PolyQ, SecretPoly};
+
+fn arb_poly() -> impl Strategy<Value = PolyQ> {
+    proptest::collection::vec(0u16..8192, 256).prop_map(|v| PolyQ::from_fn(|i| v[i]))
+}
+
+/// Saber-range secrets (|s| ≤ 4) — accepted by every backend including
+/// the DSP-packed HS-II.
+fn arb_saber_secret() -> impl Strategy<Value = SecretPoly> {
+    proptest::collection::vec(-4i8..=4, 256).prop_map(|v| SecretPoly::from_fn(|i| v[i]))
+}
+
+/// LightSaber-range secrets (|s| ≤ 5) — all backends except HS-II.
+fn arb_lightsaber_secret() -> impl Strategy<Value = SecretPoly> {
+    proptest::collection::vec(-5i8..=5, 256).prop_map(|v| SecretPoly::from_fn(|i| v[i]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_backends_agree_on_saber_range(a in arb_poly(), s in arb_saber_secret()) {
+        let expected = SchoolbookMultiplier.multiply(&a, &s);
+        let mut backends: Vec<Box<dyn PolyMultiplier>> = vec![
+            Box::new(KaratsubaMultiplier { levels: 8 }),
+            Box::new(ToomCook4Multiplier),
+            Box::new(NttMultiplier),
+            Box::new(BaselineMultiplier::new(256)),
+            Box::new(BaselineMultiplier::new(512)),
+            Box::new(CentralizedMultiplier::new(256)),
+            Box::new(CentralizedMultiplier::new(512)),
+            Box::new(DspPackedMultiplier::new()),
+            Box::new(LightweightMultiplier::new()),
+            Box::new(ScaledLightweightMultiplier::new(16, MemoryStrategy::WiderBus)),
+        ];
+        for backend in backends.iter_mut() {
+            let product = backend.multiply(&a, &s);
+            prop_assert_eq!(
+                product.coeffs(),
+                expected.coeffs(),
+                "backend {} disagrees",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn lightsaber_range_backends_agree(a in arb_poly(), s in arb_lightsaber_secret()) {
+        // HS-II excluded: its 15-bit packing requires |s| ≤ 4 (§3.2).
+        let expected = SchoolbookMultiplier.multiply(&a, &s);
+        let mut backends: Vec<Box<dyn PolyMultiplier>> = vec![
+            Box::new(ToomCook4Multiplier),
+            Box::new(CentralizedMultiplier::new(512)),
+            Box::new(LightweightMultiplier::new()),
+        ];
+        for backend in backends.iter_mut() {
+            let product = backend.multiply(&a, &s);
+            prop_assert_eq!(
+                product.coeffs(),
+                expected.coeffs(),
+                "backend {} disagrees",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn adversarial_operands() {
+    // Deterministic corner cases across all hardware models.
+    let cases: Vec<(PolyQ, SecretPoly)> = vec![
+        (PolyQ::zero(), SecretPoly::zero()),
+        (PolyQ::from_fn(|_| 8191), SecretPoly::from_fn(|_| 4)),
+        (PolyQ::from_fn(|_| 8191), SecretPoly::from_fn(|_| -4)),
+        (
+            PolyQ::from_fn(|i| if i == 255 { 8191 } else { 0 }),
+            SecretPoly::from_fn(|i| if i == 255 { -4 } else { 0 }),
+        ),
+        (
+            PolyQ::from_fn(|i| if i % 2 == 0 { 8191 } else { 1 }),
+            SecretPoly::from_fn(|i| if i % 2 == 0 { 4 } else { -4 }),
+        ),
+    ];
+    for (idx, (a, s)) in cases.iter().enumerate() {
+        let expected = SchoolbookMultiplier.multiply(a, s);
+        let mut backends: Vec<Box<dyn PolyMultiplier>> = vec![
+            Box::new(CentralizedMultiplier::new(256)),
+            Box::new(DspPackedMultiplier::new()),
+            Box::new(LightweightMultiplier::new()),
+        ];
+        for backend in backends.iter_mut() {
+            assert_eq!(
+                backend.multiply(a, s),
+                expected,
+                "case {idx}, backend {}",
+                backend.name()
+            );
+        }
+    }
+}

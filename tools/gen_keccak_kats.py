@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Generate known-answer vectors for saber-keccak using CPython's hashlib.
+
+Usage: python3 tools/gen_keccak_kats.py > crates/keccak/tests/kats_data/mod.rs
+"""
+import hashlib
+
+MSGS = {
+    "empty": b"",
+    "abc": b"abc",
+    "a_x200": b"a" * 200,            # spans multiple rate blocks
+    "bytes_0_255": bytes(range(256)),
+    "saber": b"Saber KEM polynomial multiplier",
+    "rate_minus1_136": b"\x41" * 135,  # SHA3-256 rate boundary (136)
+    "rate_136": b"\x42" * 136,
+    "rate_plus1_136": b"\x43" * 137,
+    "rate_minus1_72": b"\x44" * 71,    # SHA3-512 rate boundary (72)
+    "rate_72": b"\x45" * 72,
+    "rate_168": b"\x46" * 168,         # SHAKE128 rate boundary
+    "rate_104": b"\x47" * 104,
+}
+
+ALGS = [
+    ("SHA3_256", lambda m: hashlib.sha3_256(m).hexdigest()),
+    ("SHA3_512", lambda m: hashlib.sha3_512(m).hexdigest()),
+    ("SHAKE128_64", lambda m: hashlib.shake_128(m).hexdigest(64)),
+    ("SHAKE256_64", lambda m: hashlib.shake_256(m).hexdigest(64)),
+    ("SHAKE128_1344", lambda m: hashlib.shake_128(m).hexdigest(1344)),
+    ("SHAKE256_333", lambda m: hashlib.shake_256(m).hexdigest(333)),
+]
+
+
+def byte_literal(m: bytes) -> str:
+    return 'b"' + "".join("\\x%02x" % b for b in m) + '"'
+
+
+def main() -> None:
+    print("//! Known-answer vectors generated with CPython `hashlib` (offline).")
+    print("//! Regenerate with `python3 tools/gen_keccak_kats.py > crates/keccak/tests/kats_data/mod.rs`.")
+    print()
+    print("pub type Kat = (&'static str, &'static [u8], &'static str);")
+    for alg, f in ALGS:
+        print()
+        print(f"pub const {alg}: &[Kat] = &[")
+        for name, m in MSGS.items():
+            print(f'    ("{name}", {byte_literal(m)}, "{f(m)}"),')
+        print("];")
+
+
+if __name__ == "__main__":
+    main()
