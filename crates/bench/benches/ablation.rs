@@ -9,7 +9,7 @@
 //! 3. **DSP pipeline depth** — cycle cost of the pipeline (131 vs 128)
 //!    against the Fmax it buys.
 
-use criterion::{black_box, Criterion};
+use saber_bench::microbench::{black_box, Criterion};
 use saber_bench::tables::canonical_operands;
 use saber_core::dsp_packed::{
     expected_products, pack, unpack, unpack_paper_text_only, DspPackedMultiplier,

@@ -1,0 +1,123 @@
+//! **Batch throughput** — single-call vs batched software
+//! multiplication, the benchmark tier behind the HS-I software mirror.
+//!
+//! Measures, for all three parameter sets:
+//!
+//! * rank-`ℓ` matrix–vector products `A·s` through the per-call
+//!   schoolbook oracle vs the batched [`CachedSchoolbookMultiplier`]
+//!   (which decomposes every secret once across its `ℓ` row products);
+//! * full KEM round trips (keygen + encaps + decaps) on both backends,
+//!   reported as operations per second.
+//!
+//! Emits `BENCH_batch.json` (see [`saber_bench::tables::BatchBenchReport`])
+//! so the speedup is recorded, not just printed.
+
+use saber_bench::microbench::{black_box, Criterion};
+use saber_bench::tables::BatchBenchReport;
+use saber_kem::expand::{gen_matrix, gen_secret};
+use saber_kem::params::ALL_PARAMS;
+use saber_kem::SaberParams;
+use saber_ring::mul::SchoolbookMultiplier;
+use saber_ring::{CachedSchoolbookMultiplier, PolyMatrix, PolyMultiplier, SecretVec};
+
+fn operands(params: &SaberParams) -> (PolyMatrix, SecretVec) {
+    let a = gen_matrix(&[0x5a; 32], params);
+    let s = gen_secret(&[0xa5; 32], params);
+    (a, s)
+}
+
+fn bench_matvec(c: &mut Criterion, report: &mut BatchBenchReport) {
+    let mut group = c.benchmark_group("batch_throughput/matvec");
+    for params in &ALL_PARAMS {
+        let (a, s) = operands(params);
+        group.bench_function(format!("{}_schoolbook_percall", params.name), |b| {
+            let mut backend = SchoolbookMultiplier;
+            b.iter(|| black_box(a.mul_vec(black_box(&s), &mut backend)));
+        });
+        group.bench_function(format!("{}_cached_batched", params.name), |b| {
+            let mut backend = CachedSchoolbookMultiplier::new();
+            b.iter(|| black_box(a.mul_vec(black_box(&s), &mut backend)));
+        });
+    }
+    group.finish();
+    harvest(c, "matvec", report);
+}
+
+fn bench_kem(c: &mut Criterion, report: &mut BatchBenchReport) {
+    let mut group = c.benchmark_group("batch_throughput/kem");
+    group.sample_size(10);
+    for params in &ALL_PARAMS {
+        let roundtrip = |backend: &mut dyn PolyMultiplier| {
+            let (pk, sk) = saber_kem::keygen(params, &[7; 32], backend);
+            let (ct, ss_enc) = saber_kem::encaps(&pk, &[8; 32], backend);
+            let ss_dec = saber_kem::decaps(&sk, &ct, backend);
+            assert_eq!(ss_enc, ss_dec, "KEM round trip must close");
+            ss_dec
+        };
+        group.bench_function(format!("{}_schoolbook_percall", params.name), |b| {
+            let mut backend = SchoolbookMultiplier;
+            b.iter(|| black_box(roundtrip(&mut backend)));
+        });
+        group.bench_function(format!("{}_cached_batched", params.name), |b| {
+            let mut backend = CachedSchoolbookMultiplier::new();
+            b.iter(|| black_box(roundtrip(&mut backend)));
+        });
+    }
+    group.finish();
+    harvest(c, "kem_roundtrip", report);
+}
+
+/// Moves this run's measurements from the criterion result log into the
+/// JSON report (ids look like `batch_throughput/matvec/Saber_cached_batched`).
+fn harvest(c: &Criterion, op: &str, report: &mut BatchBenchReport) {
+    for (id, m) in c.results() {
+        for params in &ALL_PARAMS {
+            for backend in ["schoolbook_percall", "cached_batched"] {
+                let suffix = format!("/{}_{}", params.name, backend);
+                let already = report
+                    .entries
+                    .iter()
+                    .any(|e| e.params == params.name && e.op == op && e.backend == backend);
+                if id.ends_with(&suffix) && id.contains(op_group(op)) && !already {
+                    report.push(params.name, op, backend, m.mean.as_nanos() as f64);
+                }
+            }
+        }
+    }
+}
+
+fn op_group(op: &str) -> &'static str {
+    match op {
+        "matvec" => "batch_throughput/matvec",
+        _ => "batch_throughput/kem",
+    }
+}
+
+fn main() {
+    println!("\n=== Batch multiplication throughput (HS-I software mirror) ===\n");
+
+    let mut criterion = Criterion::default().configure_from_args();
+    let mut report = BatchBenchReport::default();
+    bench_matvec(&mut criterion, &mut report);
+    bench_kem(&mut criterion, &mut report);
+
+    println!("\n{}", report.format_text());
+    for params in &ALL_PARAMS {
+        for op in ["matvec", "kem_roundtrip"] {
+            if let Some(s) =
+                report.speedup(params.name, op, "schoolbook_percall", "cached_batched")
+            {
+                println!("speedup {:<12} {:<14} {s:.2}x", params.name, op);
+            }
+        }
+    }
+
+    let json = report.to_json();
+    let path = "BENCH_batch.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+
+    criterion.final_summary();
+}

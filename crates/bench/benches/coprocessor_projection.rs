@@ -5,7 +5,7 @@
 //! Drops each multiplier model into the [10]-style coprocessor cost
 //! model and compares full-KEM latency, area and the area×time product.
 
-use criterion::{black_box, Criterion};
+use saber_bench::microbench::{black_box, Criterion};
 use saber_bench::coprocessor::standard_projections;
 use saber_kem::params::SABER;
 use saber_kem::{decaps, encaps, keygen};

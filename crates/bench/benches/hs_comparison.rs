@@ -4,7 +4,7 @@
 //! twice the performance, 4 coefficient products per DSP per cycle), and
 //! the clock-frequency contrast with the Karatsuba design \[11\].
 
-use criterion::{black_box, Criterion};
+use saber_bench::microbench::{black_box, Criterion};
 use saber_bench::literature::high_speed;
 use saber_bench::tables::canonical_operands;
 use saber_core::{BaselineMultiplier, CentralizedMultiplier, DspPackedMultiplier, HwMultiplier};

@@ -5,7 +5,7 @@
 //! KEM operation's cycle budget per parameter set and multiplier, then
 //! times the real KEM on the software backend.
 
-use criterion::{black_box, Criterion};
+use saber_bench::microbench::{black_box, Criterion};
 use saber_bench::simulated::simulate_keygen;
 use saber_core::CentralizedMultiplier;
 use saber_kem::cost::{decaps_cost, encaps_cost, keygen_cost, CostModel};

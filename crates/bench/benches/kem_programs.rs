@@ -5,7 +5,7 @@
 //! strongest form of the §1 motivation reproduction: not a cost model
 //! but an executed schedule.
 
-use criterion::{black_box, Criterion};
+use saber_bench::microbench::{black_box, Criterion};
 use saber_coproc::programs::{encaps_program, keygen_program, run_decaps};
 use saber_coproc::Coprocessor;
 use saber_core::{CentralizedMultiplier, DspPackedMultiplier, HwMultiplier, LightweightMultiplier};

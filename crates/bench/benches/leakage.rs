@@ -9,7 +9,7 @@
 //! datapath (fixed vs different secret, |t| ≫ 4.5) — then times the
 //! trace collection.
 
-use criterion::{black_box, Criterion};
+use saber_bench::microbench::{black_box, Criterion};
 use saber_core::leakage::{hamming_trace, leakage_samples, mac_value_trace, welch_t, TraceStyle};
 use saber_ring::{PolyQ, SecretPoly};
 

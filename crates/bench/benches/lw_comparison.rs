@@ -3,7 +3,7 @@
 //! the device-utilization argument (< 7 % LUTs / < 2 % FFs of the small
 //! Artix-7).
 
-use criterion::{black_box, Criterion};
+use saber_bench::microbench::{black_box, Criterion};
 use saber_bench::literature::LIGHTWEIGHT_COMPARISONS;
 use saber_bench::tables::canonical_operands;
 use saber_core::{HwMultiplier, LightweightMultiplier};

@@ -3,7 +3,7 @@
 //! logic ≈ 0.001 W. Reproduced by feeding the simulator's measured
 //! activity into the calibrated activity-based power model.
 
-use criterion::{black_box, Criterion};
+use saber_bench::microbench::{black_box, Criterion};
 use saber_bench::tables::canonical_operands;
 use saber_core::{HwMultiplier, LightweightMultiplier};
 use saber_hw::{Fpga, PowerModel};

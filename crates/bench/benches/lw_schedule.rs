@@ -3,7 +3,7 @@
 //! cycles ⇒ 19 471 total, "less than 16 %"), and the high-speed
 //! contrast (512 MACs: 128 pure vs 213 with memory, 39 % overhead).
 
-use criterion::{black_box, Criterion};
+use saber_bench::microbench::{black_box, Criterion};
 use saber_bench::tables::canonical_operands;
 use saber_core::{CentralizedMultiplier, HwMultiplier, LightweightMultiplier};
 use saber_ring::PolyMultiplier;

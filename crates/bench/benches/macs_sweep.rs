@@ -3,7 +3,7 @@
 //! wider bus): cycle count roughly halves/quarters while LUTs grow only
 //! mildly.
 
-use criterion::{black_box, Criterion};
+use saber_bench::microbench::{black_box, Criterion};
 use saber_bench::tables::canonical_operands;
 use saber_core::{HwMultiplier, MemoryStrategy, ScaledLightweightMultiplier};
 use saber_ring::PolyMultiplier;

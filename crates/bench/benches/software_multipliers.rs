@@ -6,7 +6,7 @@
 //! the operation-count table (Karatsuba's base multiplications per
 //! §5.2's area/delay discussion), then times each implementation.
 
-use criterion::{black_box, Criterion};
+use saber_bench::microbench::{black_box, Criterion};
 use saber_bench::tables::canonical_operands;
 use saber_ring::{karatsuba, ntt, schoolbook, toom};
 

@@ -6,7 +6,7 @@
 //! architecture (wall-clock of the cycle-accurate simulation, a
 //! secondary metric — the primary reproduction is the table itself).
 
-use criterion::{black_box, Criterion};
+use saber_bench::microbench::{black_box, Criterion};
 use saber_bench::tables::{canonical_operands, format_table1};
 use saber_core::{
     BaselineMultiplier, CentralizedMultiplier, DspPackedMultiplier, LightweightMultiplier,

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod coprocessor;
+pub mod microbench;
 pub mod literature;
 pub mod simulated;
 pub mod tables;

@@ -110,6 +110,132 @@ pub fn format_table1() -> String {
     out
 }
 
+/// One measured batch-throughput data point (one backend × one
+/// operation × one parameter set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchBenchEntry {
+    /// Parameter set name (`LightSaber` / `Saber` / `FireSaber`).
+    pub params: String,
+    /// Operation measured (`matvec`, `kem_roundtrip`, …).
+    pub op: String,
+    /// Backend label (`schoolbook_percall`, `cached_batched`, …).
+    pub backend: String,
+    /// Mean time per operation in nanoseconds.
+    pub ns_per_op: f64,
+}
+
+impl BatchBenchEntry {
+    /// Operations per second implied by the mean time.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.ns_per_op > 0.0 {
+            1e9 / self.ns_per_op
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The `BENCH_batch.json` report produced by the `batch_throughput`
+/// bench: single-call vs batched throughput per operation and parameter
+/// set, plus the derived speedups.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchBenchReport {
+    /// All recorded data points.
+    pub entries: Vec<BatchBenchEntry>,
+}
+
+impl BatchBenchReport {
+    /// Records one data point.
+    pub fn push(&mut self, params: &str, op: &str, backend: &str, ns_per_op: f64) {
+        self.entries.push(BatchBenchEntry {
+            params: params.into(),
+            op: op.into(),
+            backend: backend.into(),
+            ns_per_op,
+        });
+    }
+
+    /// Speedup of `fast` over `baseline` for one (params, op) cell, if
+    /// both measurements are present.
+    #[must_use]
+    pub fn speedup(&self, params: &str, op: &str, baseline: &str, fast: &str) -> Option<f64> {
+        let find = |backend: &str| {
+            self.entries
+                .iter()
+                .find(|e| e.params == params && e.op == op && e.backend == backend)
+        };
+        match (find(baseline), find(fast)) {
+            (Some(b), Some(f)) if f.ns_per_op > 0.0 => Some(b.ns_per_op / f.ns_per_op),
+            _ => None,
+        }
+    }
+
+    /// Serializes the report as `BENCH_batch.json`-compatible JSON (the
+    /// schema consumed by the repo's benchmark tracking: a `bench` tag,
+    /// the flat entry list, and the per-cell speedups).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"bench\": \"batch_throughput\",\n  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"params\": \"{}\", \"op\": \"{}\", \"backend\": \"{}\", \
+                 \"ns_per_op\": {:.1}, \"ops_per_sec\": {:.2}}}{}\n",
+                e.params,
+                e.op,
+                e.backend,
+                e.ns_per_op,
+                e.ops_per_sec(),
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"speedups\": [\n");
+        let mut cells: Vec<(String, String)> = Vec::new();
+        for e in &self.entries {
+            let cell = (e.params.clone(), e.op.clone());
+            if !cells.contains(&cell) {
+                cells.push(cell);
+            }
+        }
+        let lines: Vec<String> = cells
+            .iter()
+            .filter_map(|(params, op)| {
+                self.speedup(params, op, "schoolbook_percall", "cached_batched")
+                    .map(|s| {
+                        format!(
+                            "    {{\"params\": \"{params}\", \"op\": \"{op}\", \"speedup\": {s:.2}}}"
+                        )
+                    })
+            })
+            .collect();
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Formats the report as a printable text table.
+    #[must_use]
+    pub fn format_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:<14} {:<20} {:>12} {:>12}\n",
+            "params", "op", "backend", "ns/op", "ops/sec"
+        ));
+        out.push_str(&format!("{}\n", "-".repeat(74)));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:<12} {:<14} {:<20} {:>12.0} {:>12.1}\n",
+                e.params,
+                e.op,
+                e.backend,
+                e.ns_per_op,
+                e.ops_per_sec()
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +287,51 @@ mod tests {
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
+    }
+
+    fn sample_batch_report() -> BatchBenchReport {
+        let mut r = BatchBenchReport::default();
+        r.push("Saber", "matvec", "schoolbook_percall", 3000.0);
+        r.push("Saber", "matvec", "cached_batched", 1000.0);
+        r.push("FireSaber", "kem_roundtrip", "schoolbook_percall", 9000.0);
+        r
+    }
+
+    #[test]
+    fn batch_report_speedup_is_baseline_over_fast() {
+        let r = sample_batch_report();
+        let s = r
+            .speedup("Saber", "matvec", "schoolbook_percall", "cached_batched")
+            .unwrap();
+        assert!((s - 3.0).abs() < 1e-9);
+        // Missing cell → no speedup.
+        assert!(r
+            .speedup("FireSaber", "kem_roundtrip", "schoolbook_percall", "cached_batched")
+            .is_none());
+    }
+
+    #[test]
+    fn batch_report_json_shape() {
+        let json = sample_batch_report().to_json();
+        assert!(json.contains("\"bench\": \"batch_throughput\""));
+        assert!(json.contains("\"backend\": \"cached_batched\""));
+        assert!(json.contains("\"speedup\": 3.00"));
+        // ops/sec is the reciprocal of ns/op.
+        assert!(json.contains("\"ops_per_sec\": 1000000.00"));
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in the dependency-free workspace).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn batch_report_text_lists_entries() {
+        let text = sample_batch_report().format_text();
+        assert!(text.contains("schoolbook_percall"));
+        assert!(text.contains("Saber"));
     }
 }

@@ -1,35 +1,46 @@
 //! Property-based tests: the coprocessor programs must agree with the
 //! software KEM for random seeds, and their schedules must be
 //! data-independent.
+//!
+//! Driven by the deterministic `saber-testkit` harness (the offline
+//! replacement for proptest).
 
-use proptest::prelude::*;
 use saber_coproc::programs::{encaps_program, keygen_program, run_decaps};
 use saber_coproc::Coprocessor;
 use saber_core::CentralizedMultiplier;
 use saber_kem::params::SABER;
 use saber_kem::serialize::{ciphertext_to_bytes, public_key_to_bytes};
 use saber_ring::mul::SchoolbookMultiplier;
+use saber_testkit::cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+#[test]
+fn programs_match_software_for_random_seeds() {
+    for mut rng in cases(6) {
+        let seed = rng.bytes32();
+        let entropy = rng.bytes32();
 
-    #[test]
-    fn programs_match_software_for_random_seeds(
-        seed in proptest::array::uniform32(any::<u8>()),
-        entropy in proptest::array::uniform32(any::<u8>()),
-    ) {
         // Software reference.
         let mut sw = SchoolbookMultiplier;
         let (pk_sw, sk_sw) = saber_kem::keygen(&SABER, &seed, &mut sw);
         let (ct_sw, ss_sw) = saber_kem::encaps(&pk_sw, &entropy, &mut sw);
         let ss_roundtrip = saber_kem::decaps(&sk_sw, &ct_sw, &mut sw);
-        prop_assert_eq!(ss_roundtrip.as_bytes(), ss_sw.as_bytes());
+        assert_eq!(
+            ss_roundtrip.as_bytes(),
+            ss_sw.as_bytes(),
+            "case seed {}",
+            rng.seed()
+        );
 
         // Coprocessor keygen.
         let mut hw = CentralizedMultiplier::new(256);
         let mut cpu = Coprocessor::new(&mut hw);
         cpu.run(&keygen_program(&SABER, &seed)).unwrap();
-        prop_assert_eq!(cpu.output("pk").unwrap(), &public_key_to_bytes(&pk_sw)[..]);
+        assert_eq!(
+            cpu.output("pk").unwrap(),
+            &public_key_to_bytes(&pk_sw)[..],
+            "case seed {}",
+            rng.seed()
+        );
         let mut seed_s = [0u8; 32];
         seed_s.copy_from_slice(cpu.output("seed_s").unwrap());
         let mut z = [0u8; 32];
@@ -40,31 +51,42 @@ proptest! {
         let mut hw2 = CentralizedMultiplier::new(256);
         let mut cpu2 = Coprocessor::new(&mut hw2);
         cpu2.run(&encaps_program(&SABER, &pk_bytes, &entropy)).unwrap();
-        prop_assert_eq!(cpu2.output("ct").unwrap(), &ciphertext_to_bytes(&ct_sw, &SABER)[..]);
-        prop_assert_eq!(cpu2.output("shared_secret").unwrap(), &ss_sw.as_bytes()[..]);
+        assert_eq!(
+            cpu2.output("ct").unwrap(),
+            &ciphertext_to_bytes(&ct_sw, &SABER)[..],
+            "case seed {}",
+            rng.seed()
+        );
+        assert_eq!(
+            cpu2.output("shared_secret").unwrap(),
+            &ss_sw.as_bytes()[..],
+            "case seed {}",
+            rng.seed()
+        );
 
         // Coprocessor decaps.
         let ct_bytes = ciphertext_to_bytes(&ct_sw, &SABER);
         let mut hw3 = CentralizedMultiplier::new(256);
         let (ss_dec, _) = run_decaps(&SABER, &pk_bytes, &seed_s, &z, &ct_bytes, &mut hw3).unwrap();
-        prop_assert_eq!(&ss_dec, ss_sw.as_bytes());
+        assert_eq!(&ss_dec, ss_sw.as_bytes(), "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn program_schedules_are_seed_independent(
-        seed in proptest::array::uniform32(any::<u8>()),
-    ) {
-        // Constant-time at the program level: cycle totals must not
-        // depend on the key material.
-        let reference = {
-            let mut hw = CentralizedMultiplier::new(256);
-            let mut cpu = Coprocessor::new(&mut hw);
-            cpu.run(&keygen_program(&SABER, &[0; 32])).unwrap();
-            cpu.cycles()
-        };
+#[test]
+fn program_schedules_are_seed_independent() {
+    // Constant-time at the program level: cycle totals must not
+    // depend on the key material.
+    let reference = {
+        let mut hw = CentralizedMultiplier::new(256);
+        let mut cpu = Coprocessor::new(&mut hw);
+        cpu.run(&keygen_program(&SABER, &[0; 32])).unwrap();
+        cpu.cycles()
+    };
+    for mut rng in cases(6) {
+        let seed = rng.bytes32();
         let mut hw = CentralizedMultiplier::new(256);
         let mut cpu = Coprocessor::new(&mut hw);
         cpu.run(&keygen_program(&SABER, &seed)).unwrap();
-        prop_assert_eq!(cpu.cycles(), reference);
+        assert_eq!(cpu.cycles(), reference, "case seed {}", rng.seed());
     }
 }

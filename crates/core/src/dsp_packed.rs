@@ -44,14 +44,13 @@
 //! overflow the field; [`DspPackedMultiplier`] rejects such secrets (the
 //! paper targets the Saber set).
 
-use std::collections::VecDeque;
-
 use saber_hw::area::{self, Area};
 use saber_hw::dsp::{Dsp48, A_UNSIGNED_WIDTH, B_UNSIGNED_WIDTH};
 use saber_hw::platform::{CriticalPath, Fpga};
 use saber_hw::{Activity, CycleReport};
 use saber_ring::{PolyMultiplier, PolyQ, SecretPoly, N};
 
+use crate::engine::rotated;
 use crate::report::{ArchitectureReport, HwMultiplier};
 
 /// Packing offset: coefficient pairs are packed 15 bits apart.
@@ -282,6 +281,11 @@ struct InFlight {
 pub struct DspPackedMultiplier {
     dsps: Vec<Dsp48>,
     banks: usize,
+    /// Rotating ring of in-flight metadata batches, one slot per DSP
+    /// pipeline stage. Owned by the struct so repeated multiplications
+    /// reuse the allocations instead of building a fresh `Vec` per issue
+    /// cycle.
+    inflight: Vec<Vec<InFlight>>,
     last_cycles: CycleReport,
     activity: Activity,
     multiplications: u64,
@@ -318,6 +322,7 @@ impl DspPackedMultiplier {
         Self {
             dsps: (0..dsps).map(|_| Dsp48::new(DSP_LATENCY)).collect(),
             banks,
+            inflight: (0..DSP_LATENCY).map(|_| Vec::with_capacity(dsps)).collect(),
             last_cycles: CycleReport::default(),
             activity: Activity::default(),
             multiplications: 0,
@@ -397,31 +402,34 @@ impl PolyMultiplier for DspPackedMultiplier {
         );
 
         let mut acc = [0u16; N];
-        let mut sigma = secret.clone();
-        let mut meta: VecDeque<Vec<InFlight>> = VecDeque::new();
         let mut cycles = 0u64;
         let mut outer = 0usize; // the outer index pair (2t, 2t+1)
+        let mut issued = 0usize; // metadata batches written to the ring
+        let mut retired = 0usize; // metadata batches consumed
         let banks = self.banks;
+
+        // The rotating secret buffer is modelled as a logical rotation
+        // (offset + negacyclic sign, see `rotated`), so no per-cycle
+        // clone/shift of the secret is needed; the in-flight metadata
+        // reuses the struct-owned ring of DSP_LATENCY batch buffers.
 
         // 128/banks issue cycles + DSP_LATENCY drain cycles.
         while cycles < (N / (2 * banks) + DSP_LATENCY) as u64 {
             // Issue phase.
             if outer < N {
-                let mut batch = Vec::with_capacity(DSP_COUNT * banks);
+                let batch = &mut self.inflight[issued % DSP_LATENCY];
+                batch.clear();
                 for bank in 0..banks {
                     // Bank `b` handles outer pair (outer + 2b) against the
-                    // secret shifted by x^(2b).
+                    // secret shifted by x^(outer + 2b).
                     let a0 = public.coeff(outer + 2 * bank);
                     let a1 = public.coeff(outer + 2 * bank + 1);
-                    let mut bank_sigma = sigma.clone();
-                    for _ in 0..2 * bank {
-                        bank_sigma = bank_sigma.mul_by_x();
-                    }
+                    let rot = outer + 2 * bank;
                     for k in 0..DSP_COUNT {
                         let dsp = &mut self.dsps[bank * DSP_COUNT + k];
                         let j = 2 * k + 1; // odd accumulator position
-                        let s1 = bank_sigma.coeff(j);
-                        let s0 = bank_sigma.coeff(j - 1); // (σ·x)[j], odd j ≥ 1
+                        let s1 = rotated(secret, rot, j);
+                        let s0 = rotated(secret, rot, j - 1); // (σ·x)[j], odd j ≥ 1
                         let (pa, ps, plan) = pack(a0, a1, s0, s1);
                         let (a_lo, s_lo, c) = split_for_dsp(pa, ps);
                         dsp.issue(a_lo, s_lo, c)
@@ -436,10 +444,7 @@ impl PolyMultiplier for DspPackedMultiplier {
                         });
                     }
                 }
-                meta.push_back(batch);
-                for _ in 0..2 * banks {
-                    sigma = sigma.mul_by_x();
-                }
+                issued += 1;
                 outer += 2 * banks;
             }
 
@@ -450,31 +455,32 @@ impl PolyMultiplier for DspPackedMultiplier {
             cycles += 1;
 
             // Retire phase: results emerge after DSP_LATENCY edges.
-            if cycles >= DSP_LATENCY as u64 {
-                if let Some(batch) = meta.pop_front() {
-                    for (unit, info) in batch.into_iter().enumerate() {
-                        let p = self.dsps[unit % self.dsps.len()]
-                            .output()
-                            .expect("a result emerges every retire cycle");
-                        let products = unpack(
-                            p,
-                            info.plan,
-                            info.a0_is_zero,
-                            info.s0_mag_is_zero,
-                            info.a1_lsb,
-                            info.s1_mag_lsb,
-                        );
-                        let j = info.position;
-                        add13(&mut acc[j], products.mid, false);
-                        add13(&mut acc[j - 1], products.low, false);
-                        if j + 1 < N {
-                            add13(&mut acc[j + 1], products.high, false);
-                        } else {
-                            // Negacyclic wrap: position 256 folds to −acc[0].
-                            add13(&mut acc[0], products.high, true);
-                        }
+            if cycles >= DSP_LATENCY as u64 && retired < issued {
+                let slot = retired % DSP_LATENCY;
+                for unit in 0..self.inflight[slot].len() {
+                    let info = self.inflight[slot][unit];
+                    let p = self.dsps[unit % self.dsps.len()]
+                        .output()
+                        .expect("a result emerges every retire cycle");
+                    let products = unpack(
+                        p,
+                        info.plan,
+                        info.a0_is_zero,
+                        info.s0_mag_is_zero,
+                        info.a1_lsb,
+                        info.s1_mag_lsb,
+                    );
+                    let j = info.position;
+                    add13(&mut acc[j], products.mid, false);
+                    add13(&mut acc[j - 1], products.low, false);
+                    if j + 1 < N {
+                        add13(&mut acc[j + 1], products.high, false);
+                    } else {
+                        // Negacyclic wrap: position 256 folds to −acc[0].
+                        add13(&mut acc[0], products.high, true);
                     }
                 }
+                retired += 1;
             }
         }
 

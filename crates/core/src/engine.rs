@@ -64,10 +64,13 @@ pub fn simulate(
     let preload_words = 13u64; // fills the 676-bit buffer
     let _streamed_words = public_words - preload_words; // 39, overlapped during compute
 
-    // Phase 3: compute. The accumulator and secret buffers are explicit
-    // registers; the per-cycle dataflow matches the RTL's.
+    // Phase 3: compute. The accumulator is an explicit register; the
+    // rotating secret buffer is modelled as a *logical* rotation (an
+    // offset into the original secret with negacyclic sign, see
+    // [`rotated`]) so the simulation clones and copies nothing per
+    // cycle — the RTL's physical rotation and this offset view read
+    // identical values every cycle.
     let mut acc = [0u16; N];
-    let mut sigma = s.clone();
     let mut compute_cycles = 0u64;
     let mut i = 0usize;
     while i < N {
@@ -76,24 +79,19 @@ pub fn simulate(
                 // One shared multiple set per unrolled public coefficient.
                 for u in 0..unroll {
                     let m = multiples(a.coeff(i + u));
-                    let bank = shifted_view(&sigma, u);
                     for (j, slot) in acc.iter_mut().enumerate() {
-                        *slot = select_multiple(&m, bank(j), *slot);
+                        *slot = select_multiple(&m, rotated(s, i + u, j), *slot);
                     }
                 }
             }
             MacStyle::PerMac => {
                 for u in 0..unroll {
                     let ai = a.coeff(i + u);
-                    let bank = shifted_view(&sigma, u);
                     for (j, slot) in acc.iter_mut().enumerate() {
-                        *slot = baseline_mac(ai, bank(j), *slot);
+                        *slot = baseline_mac(ai, rotated(s, i + u, j), *slot);
                     }
                 }
             }
-        }
-        for _ in 0..unroll {
-            sigma = sigma.mul_by_x();
         }
         i += unroll;
         compute_cycles += 1;
@@ -156,16 +154,19 @@ pub fn simulate_inner_product(
     )
 }
 
-/// A view of the secret buffer rotated by `x^u` (the second MAC bank of a
-/// 512-MAC design sees the pre-shifted secret).
-fn shifted_view(sigma: &SecretPoly, u: usize) -> impl Fn(usize) -> i8 + '_ {
-    move |j: usize| {
-        if j >= u {
-            sigma.coeff(j - u)
-        } else {
-            // Negacyclic wrap: x^256 = −1.
-            -sigma.coeff(N + j - u)
-        }
+/// Coefficient `j` of the rotated secret `x^r · s` — what the hardware's
+/// physically rotating secret buffer holds in lane `j` after `r` shifts.
+///
+/// The rotation group has order `2N` (`x^256 = −1`, `x^512 = 1`): indices
+/// that wrap past the top re-enter negated.
+#[inline]
+pub(crate) fn rotated(s: &SecretPoly, r: usize, j: usize) -> i8 {
+    let t = (j + 2 * N - (r % (2 * N))) % (2 * N);
+    if t < N {
+        s.coeff(t)
+    } else {
+        // Negacyclic wrap: x^256 = −1.
+        -s.coeff(t - N)
     }
 }
 

@@ -1,90 +1,116 @@
 //! Property-based tests across the architecture models: oracle
 //! agreement on adversarial distributions, data-independent schedules,
 //! and inner-product/scheduler algebra.
+//!
+//! Driven by the deterministic `saber-testkit` harness (the offline
+//! replacement for proptest).
 
-use proptest::prelude::*;
 use saber_core::{
     CentralizedMultiplier, DspPackedMultiplier, HwMultiplier, LightweightMultiplier,
     MatrixVectorScheduler, ScheduleStrategy,
 };
 use saber_ring::mul::SchoolbookMultiplier;
 use saber_ring::{schoolbook, PolyMatrix, PolyMultiplier, PolyQ, SecretPoly, SecretVec};
+use saber_testkit::{cases, Rng};
 
-fn arb_poly() -> impl Strategy<Value = PolyQ> {
-    proptest::collection::vec(0u16..8192, 256).prop_map(|v| PolyQ::from_fn(|i| v[i]))
+const CASES: usize = 16;
+
+fn rand_poly(rng: &mut Rng) -> PolyQ {
+    PolyQ::from_fn(|_| rng.range_u16(0, 8191))
 }
 
 /// Sparse polynomials stress the wrap/sign paths differently from dense
 /// ones.
-fn arb_sparse_poly() -> impl Strategy<Value = PolyQ> {
-    proptest::collection::vec((0usize..256, 0u16..8192), 0..8).prop_map(|points| {
-        let mut p = PolyQ::zero();
-        for (i, v) in points {
-            p.set_coeff(i, v);
-        }
-        p
-    })
+fn rand_sparse_poly(rng: &mut Rng) -> PolyQ {
+    let mut p = PolyQ::zero();
+    for _ in 0..rng.range_usize(0, 7) {
+        let i = rng.range_usize(0, 255);
+        p.set_coeff(i, rng.range_u16(0, 8191));
+    }
+    p
 }
 
-fn arb_secret(bound: i8) -> impl Strategy<Value = SecretPoly> {
-    proptest::collection::vec(-bound..=bound, 256).prop_map(|v| SecretPoly::from_fn(|i| v[i]))
+fn rand_secret(rng: &mut Rng, bound: i8) -> SecretPoly {
+    SecretPoly::from_fn(|_| rng.secret_coeff(bound))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn hs2_agrees_on_sparse_adversaries(a in arb_sparse_poly(), s in arb_secret(4)) {
+#[test]
+fn hs2_agrees_on_sparse_adversaries() {
+    for mut rng in cases(CASES) {
+        let a = rand_sparse_poly(&mut rng);
+        let s = rand_secret(&mut rng, 4);
         let mut hw = DspPackedMultiplier::new();
-        prop_assert_eq!(hw.multiply(&a, &s), schoolbook::mul_asym(&a, &s));
+        assert_eq!(
+            hw.multiply(&a, &s),
+            schoolbook::mul_asym(&a, &s),
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn lw_agrees_on_sparse_adversaries(a in arb_sparse_poly(), s in arb_secret(5)) {
+#[test]
+fn lw_agrees_on_sparse_adversaries() {
+    for mut rng in cases(CASES) {
+        let a = rand_sparse_poly(&mut rng);
+        let s = rand_secret(&mut rng, 5);
         let mut hw = LightweightMultiplier::new();
-        prop_assert_eq!(hw.multiply(&a, &s), schoolbook::mul_asym(&a, &s));
+        assert_eq!(
+            hw.multiply(&a, &s),
+            schoolbook::mul_asym(&a, &s),
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn schedules_are_data_independent(a in arb_poly(), s in arb_secret(4)) {
-        // Constant-time property: the cycle count must not depend on the
-        // operand values for any architecture.
-        let reference = {
-            let mut hw = DspPackedMultiplier::new();
-            let _ = hw.multiply(&PolyQ::zero(), &SecretPoly::zero());
-            hw.report().cycles
-        };
+#[test]
+fn schedules_are_data_independent() {
+    // Constant-time property: the cycle count must not depend on the
+    // operand values for any architecture.
+    let reference = {
+        let mut hw = DspPackedMultiplier::new();
+        let _ = hw.multiply(&PolyQ::zero(), &SecretPoly::zero());
+        hw.report().cycles
+    };
+    let lw_reference = {
+        let mut hw = LightweightMultiplier::new();
+        let _ = hw.multiply(&PolyQ::zero(), &SecretPoly::zero());
+        hw.report().cycles
+    };
+    for mut rng in cases(CASES) {
+        let a = rand_poly(&mut rng);
+        let s = rand_secret(&mut rng, 4);
         let mut hw = DspPackedMultiplier::new();
         let _ = hw.multiply(&a, &s);
-        prop_assert_eq!(hw.report().cycles, reference);
+        assert_eq!(hw.report().cycles, reference, "case seed {}", rng.seed());
 
-        let lw_reference = {
-            let mut hw = LightweightMultiplier::new();
-            let _ = hw.multiply(&PolyQ::zero(), &SecretPoly::zero());
-            hw.report().cycles
-        };
         let mut lw = LightweightMultiplier::new();
         let _ = lw.multiply(&a, &s);
-        prop_assert_eq!(lw.report().cycles, lw_reference);
+        assert_eq!(lw.report().cycles, lw_reference, "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn inner_product_equals_sum_of_products(
-        a0 in arb_poly(), a1 in arb_poly(),
-        s0 in arb_secret(5), s1 in arb_secret(5),
-    ) {
+#[test]
+fn inner_product_equals_sum_of_products() {
+    for mut rng in cases(CASES) {
+        let a0 = rand_poly(&mut rng);
+        let a1 = rand_poly(&mut rng);
+        let s0 = rand_secret(&mut rng, 5);
+        let s1 = rand_secret(&mut rng, 5);
         let mut hw = CentralizedMultiplier::new(512);
         let (sum, _) = hw.inner_product(&[(a0.clone(), s0.clone()), (a1.clone(), s1.clone())]);
         let expected = &schoolbook::mul_asym(&a0, &s0) + &schoolbook::mul_asym(&a1, &s1);
-        prop_assert_eq!(sum, expected);
+        assert_eq!(sum, expected, "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn scheduler_matches_software_matvec(
-        entries in proptest::collection::vec(arb_poly(), 4),
-        secrets in proptest::collection::vec(arb_secret(4), 2),
-        transpose in any::<bool>(),
-    ) {
+#[test]
+fn scheduler_matches_software_matvec() {
+    for mut rng in cases(CASES) {
+        let entries: Vec<PolyQ> = (0..4).map(|_| rand_poly(&mut rng)).collect();
+        let secrets: Vec<SecretPoly> = (0..2).map(|_| rand_secret(&mut rng, 4)).collect();
+        let transpose = rng.next_u64() & 1 == 1;
         let matrix = PolyMatrix::from_entries(2, entries);
         let s = SecretVec::from_polys(secrets);
         let mut oracle = SchoolbookMultiplier;
@@ -94,9 +120,14 @@ proptest! {
             matrix.mul_vec(&s, &mut oracle)
         };
         for strategy in [ScheduleStrategy::RowMajor, ScheduleStrategy::SecretResident] {
-            let outcome = MatrixVectorScheduler::new(512, strategy)
-                .schedule(&matrix, &s, transpose);
-            prop_assert_eq!(&outcome.product, &expected, "{:?}", strategy);
+            let outcome = MatrixVectorScheduler::new(512, strategy).schedule(&matrix, &s, transpose);
+            assert_eq!(
+                &outcome.product,
+                &expected,
+                "{:?}, case seed {}",
+                strategy,
+                rng.seed()
+            );
         }
     }
 }

@@ -1,13 +1,16 @@
 //! Integration scenarios across the hardware primitives: realistic
 //! multi-component pipelines, failure injection, and cross-platform
 //! model sanity.
+//!
+//! Randomized sections are driven by the deterministic `saber-testkit`
+//! harness (the offline replacement for proptest).
 
-use proptest::prelude::*;
 use saber_hw::bram::{Bram, PortKind};
 use saber_hw::dsp::Dsp48;
 use saber_hw::mac::{multiples, select_multiple};
 use saber_hw::platform::{CriticalPath, Fpga};
 use saber_hw::power::{Activity, PowerModel};
+use saber_testkit::cases;
 
 /// A miniature of the LW datapath: stream words through a BRAM while a
 /// MAC consumes them, checking port discipline end to end.
@@ -93,43 +96,51 @@ fn full_mac_row_broadcast() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn bram_holds_values_across_arbitrary_traffic(
-        ops in proptest::collection::vec((0usize..16, any::<u64>()), 1..50)
-    ) {
-        // Model: apply writes in order; reads must always return the
-        // latest committed value.
+#[test]
+fn bram_holds_values_across_arbitrary_traffic() {
+    // Model: apply writes in order; reads must always return the
+    // latest committed value.
+    for mut rng in cases(64) {
         let mut mem = Bram::new(16);
         let mut shadow = [0u64; 16];
-        for (addr, value) in ops {
+        for _ in 0..rng.range_usize(1, 49) {
+            let addr = rng.range_usize(0, 15);
+            let value = rng.next_u64();
             mem.issue_write(addr, value).unwrap();
             mem.tick();
             shadow[addr] = value;
             mem.issue_read(addr).unwrap();
             mem.tick();
-            prop_assert_eq!(mem.read_data(), Some(shadow[addr]));
+            assert_eq!(
+                mem.read_data(),
+                Some(shadow[addr]),
+                "case seed {}",
+                rng.seed()
+            );
         }
-        prop_assert_eq!(mem.inspect(0, 16), &shadow[..]);
+        assert_eq!(mem.inspect(0, 16), &shadow[..], "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn dsp_computes_any_legal_operands(
-        a in -(1i64 << 26)..(1i64 << 26),
-        b in -(1i64 << 17)..(1i64 << 17),
-        c in -(1i64 << 40)..(1i64 << 40),
-    ) {
+#[test]
+fn dsp_computes_any_legal_operands() {
+    for mut rng in cases(64) {
+        let a = rng.range_i64(-(1i64 << 26), (1i64 << 26) - 1);
+        let b = rng.range_i64(-(1i64 << 17), (1i64 << 17) - 1);
+        let c = rng.range_i64(-(1i64 << 40), (1i64 << 40) - 1);
         let mut dsp = Dsp48::new(1);
         dsp.issue(a, b, c).unwrap();
         dsp.tick();
-        prop_assert_eq!(dsp.output(), Some(a * b + c));
+        assert_eq!(dsp.output(), Some(a * b + c), "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn power_is_monotone_in_activity(reads in 0u64..100_000, extra in 1u64..50_000) {
-        let model = PowerModel::for_platform(Fpga::Artix7);
+#[test]
+fn power_is_monotone_in_activity() {
+    let model = PowerModel::for_platform(Fpga::Artix7);
+    for mut rng in cases(64) {
+        let reads = rng.next_u64() % 100_000;
+        let extra = 1 + rng.next_u64() % 49_999;
         let base = Activity {
             cycles: 10_000,
             bram_reads: reads,
@@ -144,15 +155,21 @@ proptest! {
         more.io_words += extra;
         let p_base = model.estimate(&base, 100.0).total_w();
         let p_more = model.estimate(&more, 100.0).total_w();
-        prop_assert!(p_more > p_base);
+        assert!(p_more > p_base, "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn fmax_is_monotone_in_depth(levels in 1u32..30) {
-        let shallow = CriticalPath { logic_levels: levels };
-        let deep = CriticalPath { logic_levels: levels + 1 };
+#[test]
+fn fmax_is_monotone_in_depth() {
+    for levels in 1u32..30 {
+        let shallow = CriticalPath {
+            logic_levels: levels,
+        };
+        let deep = CriticalPath {
+            logic_levels: levels + 1,
+        };
         for fpga in [Fpga::Artix7, Fpga::UltrascalePlus] {
-            prop_assert!(deep.fmax_mhz(fpga) < shallow.fmax_mhz(fpga));
+            assert!(deep.fmax_mhz(fpga) < shallow.fmax_mhz(fpga));
         }
     }
 }

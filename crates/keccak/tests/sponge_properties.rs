@@ -1,72 +1,107 @@
 //! Property-based tests of the sponge layer: chunking invariance, XOF
 //! prefix consistency, and domain separation over random inputs.
+//!
+//! Driven by the deterministic `saber-testkit` harness (the offline
+//! replacement for proptest).
 
-use proptest::prelude::*;
 use saber_keccak::{Sha3_256, Sha3_512, Shake128, Shake256};
+use saber_testkit::cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    #[test]
-    fn sha3_absorb_chunking_invariance(
-        msg in proptest::collection::vec(any::<u8>(), 0..600),
-        cut in 0usize..600,
-    ) {
-        let cut = cut.min(msg.len());
+#[test]
+fn sha3_absorb_chunking_invariance() {
+    for mut rng in cases(CASES) {
+        let msg = rng.byte_vec(599);
+        let cut = rng.range_usize(0, 599).min(msg.len());
         let mut split = Sha3_256::new();
         split.update(&msg[..cut]);
         split.update(&msg[cut..]);
-        prop_assert_eq!(split.finalize(), Sha3_256::digest(&msg));
+        assert_eq!(
+            split.finalize(),
+            Sha3_256::digest(&msg),
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn shake_output_prefix_property(
-        seed in proptest::collection::vec(any::<u8>(), 0..100),
-        short in 1usize..64,
-        long in 64usize..700,
-    ) {
+#[test]
+fn shake_output_prefix_property() {
+    for mut rng in cases(CASES) {
+        let seed = rng.byte_vec(99);
+        let short = rng.range_usize(1, 63);
+        let long = rng.range_usize(64, 699);
         // An XOF's shorter output must be a prefix of its longer output.
         let short_out = Shake128::xof(&seed, short);
         let long_out = Shake128::xof(&seed, long);
-        prop_assert_eq!(&short_out[..], &long_out[..short]);
+        assert_eq!(
+            &short_out[..],
+            &long_out[..short],
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn shake_read_chunking_invariance(
-        seed in proptest::collection::vec(any::<u8>(), 0..64),
-        chunk in 1usize..97,
-    ) {
+#[test]
+fn shake_read_chunking_invariance() {
+    for mut rng in cases(CASES) {
+        let seed = rng.byte_vec(63);
+        let chunk = rng.range_usize(1, 96);
         let oneshot = Shake256::xof(&seed, 400);
         let mut xof = Shake256::from_seed(&seed);
         let mut chunked = vec![0u8; 400];
         for part in chunked.chunks_mut(chunk) {
             xof.read(part);
         }
-        prop_assert_eq!(oneshot, chunked);
+        assert_eq!(oneshot, chunked, "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn distinct_messages_distinct_digests(
-        a in proptest::collection::vec(any::<u8>(), 0..128),
-        b in proptest::collection::vec(any::<u8>(), 0..128),
-    ) {
-        prop_assume!(a != b);
-        prop_assert_ne!(Sha3_256::digest(&a), Sha3_256::digest(&b));
-        prop_assert_ne!(Sha3_512::digest(&a), Sha3_512::digest(&b));
+#[test]
+fn distinct_messages_distinct_digests() {
+    for mut rng in cases(CASES) {
+        let a = rng.byte_vec(127);
+        let b = rng.byte_vec(127);
+        if a == b {
+            continue; // vanishingly rare; the harness has no prop_assume
+        }
+        assert_ne!(
+            Sha3_256::digest(&a),
+            Sha3_256::digest(&b),
+            "case seed {}",
+            rng.seed()
+        );
+        assert_ne!(
+            Sha3_512::digest(&a),
+            Sha3_512::digest(&b),
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn sha3_256_is_not_a_shake_prefix(msg in proptest::collection::vec(any::<u8>(), 0..64)) {
-        // Domain separation between the hash and XOF families.
+#[test]
+fn sha3_256_is_not_a_shake_prefix() {
+    // Domain separation between the hash and XOF families.
+    for mut rng in cases(CASES) {
+        let msg = rng.byte_vec(63);
         let digest = Sha3_256::digest(&msg).to_vec();
         let xof = Shake256::xof(&msg, 32);
-        prop_assert_ne!(digest, xof);
+        assert_ne!(digest, xof, "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn digest_bits_look_uniform(msg in proptest::collection::vec(any::<u8>(), 1..64)) {
-        // Crude avalanche check: flipping one input bit flips a
-        // substantial number of output bits.
+#[test]
+fn digest_bits_look_uniform() {
+    // Crude avalanche check: flipping one input bit flips a
+    // substantial number of output bits.
+    for mut rng in cases(CASES) {
+        let mut msg = rng.byte_vec(63);
+        if msg.is_empty() {
+            msg.push(rng.range_u16(0, 255) as u8);
+        }
         let mut flipped = msg.clone();
         flipped[0] ^= 1;
         let d1 = Sha3_256::digest(&msg);
@@ -77,6 +112,10 @@ proptest! {
             .map(|(x, y)| (x ^ y).count_ones())
             .sum();
         // 256 output bits; expect ~128; demand at least 64.
-        prop_assert!(distance >= 64, "avalanche distance only {}", distance);
+        assert!(
+            distance >= 64,
+            "avalanche distance only {distance}, case seed {}",
+            rng.seed()
+        );
     }
 }

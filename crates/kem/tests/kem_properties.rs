@@ -1,8 +1,10 @@
 //! Property-based tests of the KEM layer: roundtrips over random seeds,
 //! serialization, tamper resistance, and the empirical noise margin
 //! behind Saber's (deterministic-rounding) correctness.
+//!
+//! Driven by the deterministic `saber-testkit` harness (the offline
+//! replacement for proptest).
 
-use proptest::prelude::*;
 use saber_keccak::Shake256;
 use saber_kem::params::{ALL_PARAMS, SABER};
 use saber_kem::pke;
@@ -11,52 +13,70 @@ use saber_kem::serialize::{
 };
 use saber_kem::{decaps, encaps, keygen};
 use saber_ring::mul::SchoolbookMultiplier;
+use saber_testkit::cases;
 
-fn arb_seed() -> impl Strategy<Value = [u8; 32]> {
-    proptest::array::uniform32(any::<u8>())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn kem_roundtrip_random_seeds(kg in arb_seed(), ent in arb_seed()) {
-        let mut backend = SchoolbookMultiplier;
+#[test]
+fn kem_roundtrip_random_seeds() {
+    let mut backend = SchoolbookMultiplier;
+    for mut rng in cases(12) {
+        let kg = rng.bytes32();
+        let ent = rng.bytes32();
         for params in &ALL_PARAMS {
             let (pk, sk) = keygen(params, &kg, &mut backend);
             let (ct, ss1) = encaps(&pk, &ent, &mut backend);
-            prop_assert_eq!(decaps(&sk, &ct, &mut backend), ss1, "{}", params.name);
+            assert_eq!(
+                decaps(&sk, &ct, &mut backend),
+                ss1,
+                "{}, case seed {}",
+                params.name,
+                rng.seed()
+            );
         }
     }
+}
 
-    #[test]
-    fn pke_roundtrip_random_everything(
-        kg_a in arb_seed(), kg_s in arb_seed(), coins in arb_seed(),
-        msg in proptest::array::uniform32(any::<u8>()),
-    ) {
-        let mut backend = SchoolbookMultiplier;
+#[test]
+fn pke_roundtrip_random_everything() {
+    let mut backend = SchoolbookMultiplier;
+    for mut rng in cases(12) {
+        let kg_a = rng.bytes32();
+        let kg_s = rng.bytes32();
+        let coins = rng.bytes32();
+        let msg = rng.bytes32();
         let (pk, sk) = pke::keygen(&SABER, kg_a, &kg_s, &mut backend);
         let ct = pke::encrypt(&pk, &msg, &coins, &mut backend);
-        prop_assert_eq!(pke::decrypt(&sk, &ct, &mut backend), msg);
+        assert_eq!(
+            pke::decrypt(&sk, &ct, &mut backend),
+            msg,
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn serialization_roundtrips(kg in arb_seed(), ent in arb_seed()) {
-        let mut backend = SchoolbookMultiplier;
+#[test]
+fn serialization_roundtrips() {
+    let mut backend = SchoolbookMultiplier;
+    for mut rng in cases(12) {
+        let kg = rng.bytes32();
+        let ent = rng.bytes32();
         let (pk, _) = keygen(&SABER, &kg, &mut backend);
         let (ct, _) = encaps(&pk, &ent, &mut backend);
         let pk2 = public_key_from_bytes(&public_key_to_bytes(&pk), &SABER).unwrap();
-        prop_assert_eq!(&pk2, &pk);
+        assert_eq!(&pk2, &pk, "case seed {}", rng.seed());
         let ct2 = ciphertext_from_bytes(&ciphertext_to_bytes(&ct, &SABER), &SABER).unwrap();
-        prop_assert_eq!(ct2, ct);
+        assert_eq!(ct2, ct, "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn any_single_byte_tamper_changes_the_secret(
-        kg in arb_seed(), ent in arb_seed(),
-        byte_index in 0usize..1088, flip in 1u8..=255,
-    ) {
-        let mut backend = SchoolbookMultiplier;
+#[test]
+fn any_single_byte_tamper_changes_the_secret() {
+    let mut backend = SchoolbookMultiplier;
+    for mut rng in cases(12) {
+        let kg = rng.bytes32();
+        let ent = rng.bytes32();
+        let byte_index = rng.range_usize(0, 1087);
+        let flip = rng.range_u16(1, 255) as u8;
         let (pk, sk) = keygen(&SABER, &kg, &mut backend);
         let (ct, ss) = encaps(&pk, &ent, &mut backend);
         let mut bytes = ciphertext_to_bytes(&ct, &SABER);
@@ -67,7 +87,7 @@ proptest! {
         // decode must succeed and decapsulate to a *different* secret.
         let tampered = ciphertext_from_bytes(&bytes, &SABER).unwrap();
         let ss_bad = decaps(&sk, &tampered, &mut backend);
-        prop_assert_ne!(ss, ss_bad);
+        assert_ne!(ss, ss_bad, "case seed {}", rng.seed());
     }
 }
 

@@ -14,6 +14,9 @@
 //! * [`secret::SecretPoly`] — the small-coefficient operand (|s| ≤ 5);
 //! * [`schoolbook`] — the obviously-correct reference multiplier
 //!   (Algorithm 1 of the paper);
+//! * [`cached`] — the schoolbook algorithm restructured the way the
+//!   paper's HS-I architecture computes it (multiple caching + secret
+//!   value buckets), the fast software path behind batched mat-vec;
 //! * [`karatsuba`] — recursive Karatsuba, including the fully-unrolled
 //!   8-level variant used by the high-performance design of Zhu et al.;
 //! * [`toom`] — Toom-Cook 4-way, the multiplier of the original Saber
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cached;
 pub mod karatsuba;
 pub mod matrix;
 pub mod modulus;
@@ -53,6 +57,7 @@ pub mod schoolbook;
 pub mod secret;
 pub mod toom;
 
+pub use cached::CachedSchoolbookMultiplier;
 pub use matrix::{PolyMatrix, PolyVec, SecretVec};
 pub use modulus::{EPS_P, EPS_Q, N, P, Q};
 pub use mul::PolyMultiplier;

@@ -121,10 +121,11 @@ impl PolyVec<10> {
         backend: &mut M,
     ) -> PolyP {
         assert_eq!(self.len(), secret.len(), "vector length mismatch");
+        let wides: Vec<PolyQ> = self.polys.iter().map(|b| b.embed_to::<13>()).collect();
+        let ops: Vec<(&PolyQ, &SecretPoly)> = wides.iter().zip(secret.iter()).collect();
         let mut acc = PolyQ::zero();
-        for (b, s) in self.polys.iter().zip(secret.iter()) {
-            let wide: PolyQ = b.embed_to::<13>();
-            acc += &backend.multiply(&wide, s);
+        for product in &backend.multiply_batch(&ops) {
+            acc += product;
         }
         acc.reduce_to::<10>()
     }
@@ -327,18 +328,24 @@ impl PolyMatrix {
         transpose: bool,
     ) -> PolyVec<13> {
         assert_eq!(s.len(), self.rank, "vector length must equal matrix rank");
-        let mut out = Vec::with_capacity(self.rank);
-        for row in 0..self.rank {
-            let mut acc = PolyQ::zero();
-            for col in 0..self.rank {
+        // Present all rank² pairs to the backend as one batch, grouped by
+        // secret (column-major) so batch-aware backends amortize each
+        // secret's decomposition across the `rank` rows it touches.
+        let mut ops = Vec::with_capacity(self.rank * self.rank);
+        for col in 0..self.rank {
+            for row in 0..self.rank {
                 let a = if transpose {
                     self.entry(col, row)
                 } else {
                     self.entry(row, col)
                 };
-                acc += &backend.multiply(a, &s[col]);
+                ops.push((a, &s[col]));
             }
-            out.push(acc);
+        }
+        let products = backend.multiply_batch(&ops);
+        let mut out = vec![PolyQ::zero(); self.rank];
+        for (k, product) in products.iter().enumerate() {
+            out[k % self.rank] += product;
         }
         PolyVec::from_polys(out)
     }

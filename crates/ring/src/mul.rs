@@ -39,6 +39,21 @@ pub trait PolyMultiplier {
     /// Computes `public · secret` in `Z_{2^13}[x]/(x^256 + 1)`.
     fn multiply(&mut self, public: &PolyQ, secret: &SecretPoly) -> PolyQ;
 
+    /// Computes a batch of products, one per `(public, secret)` pair, in
+    /// order.
+    ///
+    /// The default implementation loops over [`multiply`](Self::multiply),
+    /// so every backend is automatically batch-capable. Backends that can
+    /// amortize per-operand work across the batch — notably
+    /// [`CachedSchoolbookMultiplier`](crate::cached::CachedSchoolbookMultiplier),
+    /// which decomposes each distinct secret once no matter how many
+    /// publics it is paired with — override this. Matrix–vector products
+    /// route through here so rank-`l` products present all `l²` pairs at
+    /// once.
+    fn multiply_batch(&mut self, ops: &[(&PolyQ, &SecretPoly)]) -> Vec<PolyQ> {
+        ops.iter().map(|(a, s)| self.multiply(a, s)).collect()
+    }
+
     /// Human-readable backend name for reports and tables.
     fn name(&self) -> &str;
 }

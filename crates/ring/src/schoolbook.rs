@@ -34,6 +34,7 @@ use crate::secret::SecretPoly;
 /// assert_eq!(c[0], -1, "x^255 · x = x^256 = -1");
 /// ```
 #[must_use]
+#[inline]
 pub fn negacyclic_mul_i64(a: &[i64; N], b: &[i64; N]) -> [i64; N] {
     let mut acc = [0i64; N];
     for (i, &ai) in a.iter().enumerate() {
@@ -54,6 +55,7 @@ pub fn negacyclic_mul_i64(a: &[i64; N], b: &[i64; N]) -> [i64; N] {
 
 /// Schoolbook product of two mod-`2^QBITS` polynomials.
 #[must_use]
+#[inline]
 pub fn mul<const QBITS: u32>(a: &Poly<QBITS>, b: &Poly<QBITS>) -> Poly<QBITS> {
     let acc = negacyclic_mul_i64(&a.to_i64(), &b.to_i64());
     Poly::from_signed(&acc)
@@ -62,6 +64,7 @@ pub fn mul<const QBITS: u32>(a: &Poly<QBITS>, b: &Poly<QBITS>) -> Poly<QBITS> {
 /// Schoolbook product of a public polynomial and a small secret, the
 /// asymmetric multiplication Saber actually performs.
 #[must_use]
+#[inline]
 pub fn mul_asym<const QBITS: u32>(a: &Poly<QBITS>, s: &SecretPoly) -> Poly<QBITS> {
     let acc = negacyclic_mul_i64(&a.to_i64(), &s.to_i64());
     Poly::from_signed(&acc)
@@ -75,11 +78,19 @@ pub fn mul_asym<const QBITS: u32>(a: &Poly<QBITS>, s: &SecretPoly) -> Poly<QBITS
 /// cycle with 256 parallel MACs) and is used to validate that the shift
 /// -based formulation equals the convolution oracle.
 #[must_use]
+#[inline]
 pub fn mul_asym_alg1<const QBITS: u32>(a: &Poly<QBITS>, s: &SecretPoly) -> Poly<QBITS> {
     let mut acc = [0i64; N];
     let mut b = s.clone();
     for i in 0..N {
         let ai = i64::from(a.coeff(i));
+        if ai == 0 {
+            // Same sparse skip as `negacyclic_mul_i64`: a zero broadcast
+            // coefficient contributes nothing, but the operand shift must
+            // still advance to keep the schedule aligned.
+            b = b.mul_by_x();
+            continue;
+        }
         for (j, slot) in acc.iter_mut().enumerate() {
             *slot += i64::from(b.coeff(j)) * ai;
         }
@@ -91,6 +102,7 @@ pub fn mul_asym_alg1<const QBITS: u32>(a: &Poly<QBITS>, s: &SecretPoly) -> Poly<
 /// Linear (non-cyclic) schoolbook product; the low-level building block
 /// for Karatsuba and Toom-Cook. Output length is `a.len() + b.len() - 1`.
 #[must_use]
+#[inline]
 pub fn linear_mul_i64(a: &[i64], b: &[i64]) -> Vec<i64> {
     if a.is_empty() || b.is_empty() {
         return Vec::new();
@@ -110,6 +122,7 @@ pub fn linear_mul_i64(a: &[i64], b: &[i64]) -> Vec<i64> {
 /// Folds a linear product of length `2N − 1` (or less) back into the
 /// negacyclic ring: coefficient `k ≥ N` is subtracted from `k − N`.
 #[must_use]
+#[inline]
 pub fn fold_negacyclic(linear: &[i64]) -> [i64; N] {
     assert!(
         linear.len() < 2 * N,

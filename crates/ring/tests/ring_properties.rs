@@ -1,155 +1,293 @@
 //! Property-based tests for the ring substrate: algebraic laws, multiplier
 //! cross-agreement, and serialization roundtrips.
+//!
+//! Driven by the deterministic `saber-testkit` harness (the offline
+//! replacement for proptest); every failure message carries the case
+//! seed needed to replay it.
 
-use proptest::prelude::*;
 use saber_ring::{
     karatsuba, modulus::N, ntt, ntt_crt, packing, rounding, schoolbook, toom, Poly, PolyP, PolyQ,
     SecretPoly,
 };
+use saber_testkit::{cases, Rng};
 
-fn arb_poly_q() -> impl Strategy<Value = PolyQ> {
-    proptest::collection::vec(0u16..8192, N).prop_map(|v| PolyQ::from_fn(|i| v[i]))
+const CASES: usize = 64;
+
+fn rand_poly_q(rng: &mut Rng) -> PolyQ {
+    PolyQ::from_fn(|_| rng.range_u16(0, 8191))
 }
 
-fn arb_poly_p() -> impl Strategy<Value = PolyP> {
-    proptest::collection::vec(0u16..1024, N).prop_map(|v| PolyP::from_fn(|i| v[i]))
+fn rand_poly_p(rng: &mut Rng) -> PolyP {
+    PolyP::from_fn(|_| rng.range_u16(0, 1023))
 }
 
-fn arb_secret() -> impl Strategy<Value = SecretPoly> {
-    proptest::collection::vec(-5i8..=5, N).prop_map(|v| SecretPoly::from_fn(|i| v[i]))
+fn rand_secret(rng: &mut Rng) -> SecretPoly {
+    SecretPoly::from_fn(|_| rng.secret_coeff(5))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn addition_commutes(a in arb_poly_q(), b in arb_poly_q()) {
-        prop_assert_eq!(&a + &b, &b + &a);
+#[test]
+fn addition_commutes() {
+    for mut rng in cases(CASES) {
+        let (a, b) = (rand_poly_q(&mut rng), rand_poly_q(&mut rng));
+        assert_eq!(&a + &b, &b + &a, "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn addition_associates(a in arb_poly_q(), b in arb_poly_q(), c in arb_poly_q()) {
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+#[test]
+fn addition_associates() {
+    for mut rng in cases(CASES) {
+        let a = rand_poly_q(&mut rng);
+        let b = rand_poly_q(&mut rng);
+        let c = rand_poly_q(&mut rng);
+        assert_eq!(&(&a + &b) + &c, &a + &(&b + &c), "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn multiplication_distributes(a in arb_poly_q(), b in arb_poly_q(), s in arb_secret()) {
+#[test]
+fn multiplication_distributes() {
+    for mut rng in cases(CASES) {
+        let a = rand_poly_q(&mut rng);
+        let b = rand_poly_q(&mut rng);
+        let s = rand_secret(&mut rng);
         let lhs = schoolbook::mul_asym(&(&a + &b), &s);
         let rhs = &schoolbook::mul_asym(&a, &s) + &schoolbook::mul_asym(&b, &s);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn symmetric_multiplication_commutes(a in arb_poly_q(), b in arb_poly_q()) {
-        prop_assert_eq!(schoolbook::mul(&a, &b), schoolbook::mul(&b, &a));
+#[test]
+fn symmetric_multiplication_commutes() {
+    for mut rng in cases(CASES) {
+        let (a, b) = (rand_poly_q(&mut rng), rand_poly_q(&mut rng));
+        assert_eq!(
+            schoolbook::mul(&a, &b),
+            schoolbook::mul(&b, &a),
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn mul_by_x_agrees_with_monomial_product(a in arb_poly_q()) {
-        let x = SecretPoly::from_fn(|i| i8::from(i == 1));
-        prop_assert_eq!(schoolbook::mul_asym(&a, &x), a.mul_by_x());
+#[test]
+fn mul_by_x_agrees_with_monomial_product() {
+    let x = SecretPoly::from_fn(|i| i8::from(i == 1));
+    for mut rng in cases(CASES) {
+        let a = rand_poly_q(&mut rng);
+        assert_eq!(
+            schoolbook::mul_asym(&a, &x),
+            a.mul_by_x(),
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn karatsuba_matches_schoolbook(a in arb_poly_q(), s in arb_secret(), levels in 0u32..=8) {
-        prop_assert_eq!(
+#[test]
+fn karatsuba_matches_schoolbook() {
+    for mut rng in cases(CASES) {
+        let a = rand_poly_q(&mut rng);
+        let s = rand_secret(&mut rng);
+        let levels = rng.range_usize(0, 8) as u32;
+        assert_eq!(
             karatsuba::mul_asym(&a, &s, levels),
-            schoolbook::mul_asym(&a, &s)
+            schoolbook::mul_asym(&a, &s),
+            "levels {levels}, case seed {}",
+            rng.seed()
         );
     }
+}
 
-    #[test]
-    fn toom_matches_schoolbook(a in arb_poly_q(), s in arb_secret()) {
-        prop_assert_eq!(toom::mul_asym(&a, &s), schoolbook::mul_asym(&a, &s));
+#[test]
+fn toom_matches_schoolbook() {
+    for mut rng in cases(CASES) {
+        let a = rand_poly_q(&mut rng);
+        let s = rand_secret(&mut rng);
+        assert_eq!(
+            toom::mul_asym(&a, &s),
+            schoolbook::mul_asym(&a, &s),
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn ntt_matches_schoolbook(a in arb_poly_q(), s in arb_secret()) {
-        prop_assert_eq!(ntt::mul_asym(&a, &s), schoolbook::mul_asym(&a, &s));
+#[test]
+fn ntt_matches_schoolbook() {
+    for mut rng in cases(CASES) {
+        let a = rand_poly_q(&mut rng);
+        let s = rand_secret(&mut rng);
+        assert_eq!(
+            ntt::mul_asym(&a, &s),
+            schoolbook::mul_asym(&a, &s),
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn toom_symmetric_matches_schoolbook(a in arb_poly_q(), b in arb_poly_q()) {
-        prop_assert_eq!(toom::mul(&a, &b), schoolbook::mul(&a, &b));
+#[test]
+fn toom_symmetric_matches_schoolbook() {
+    for mut rng in cases(CASES) {
+        let (a, b) = (rand_poly_q(&mut rng), rand_poly_q(&mut rng));
+        assert_eq!(
+            toom::mul(&a, &b),
+            schoolbook::mul(&a, &b),
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn ntt_symmetric_matches_schoolbook(a in arb_poly_q(), b in arb_poly_q()) {
-        prop_assert_eq!(ntt::mul(&a, &b), schoolbook::mul(&a, &b));
+#[test]
+fn ntt_symmetric_matches_schoolbook() {
+    for mut rng in cases(CASES) {
+        let (a, b) = (rand_poly_q(&mut rng), rand_poly_q(&mut rng));
+        assert_eq!(
+            ntt::mul(&a, &b),
+            schoolbook::mul(&a, &b),
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn ntt_crt_matches_schoolbook(a in arb_poly_q(), s in arb_secret()) {
-        prop_assert_eq!(ntt_crt::mul_asym(&a, &s), schoolbook::mul_asym(&a, &s));
+#[test]
+fn ntt_crt_matches_schoolbook() {
+    for mut rng in cases(CASES) {
+        let a = rand_poly_q(&mut rng);
+        let s = rand_secret(&mut rng);
+        assert_eq!(
+            ntt_crt::mul_asym(&a, &s),
+            schoolbook::mul_asym(&a, &s),
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn ntt_crt_symmetric_matches_schoolbook(a in arb_poly_q(), b in arb_poly_q()) {
-        prop_assert_eq!(ntt_crt::mul(&a, &b), schoolbook::mul(&a, &b));
+#[test]
+fn ntt_crt_symmetric_matches_schoolbook() {
+    for mut rng in cases(CASES) {
+        let (a, b) = (rand_poly_q(&mut rng), rand_poly_q(&mut rng));
+        assert_eq!(
+            ntt_crt::mul(&a, &b),
+            schoolbook::mul(&a, &b),
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn mod_p_reduction_commutes_with_multiplication(a in arb_poly_q(), s in arb_secret()) {
-        // (a·s mod q) mod p == (a mod p)·s mod p — the property that lets
-        // the 13-bit hardware datapath serve mod-p multiplications.
+#[test]
+fn mod_p_reduction_commutes_with_multiplication() {
+    // (a·s mod q) mod p == (a mod p)·s mod p — the property that lets
+    // the 13-bit hardware datapath serve mod-p multiplications.
+    for mut rng in cases(CASES) {
+        let a = rand_poly_q(&mut rng);
+        let s = rand_secret(&mut rng);
         let wide = schoolbook::mul_asym(&a, &s).reduce_to::<10>();
-        let narrow = schoolbook::mul_asym(&a.reduce_to::<10>().embed_to::<13>(), &s)
-            .reduce_to::<10>();
-        prop_assert_eq!(wide, narrow);
+        let narrow =
+            schoolbook::mul_asym(&a.reduce_to::<10>().embed_to::<13>(), &s).reduce_to::<10>();
+        assert_eq!(wide, narrow, "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn poly_byte_roundtrip(a in arb_poly_q()) {
-        prop_assert_eq!(
+#[test]
+fn poly_byte_roundtrip() {
+    for mut rng in cases(CASES) {
+        let a = rand_poly_q(&mut rng);
+        assert_eq!(
             packing::poly_from_bytes::<13>(&packing::poly_to_bytes(&a)),
-            a
+            a,
+            "case seed {}",
+            rng.seed()
         );
     }
+}
 
-    #[test]
-    fn poly10_byte_roundtrip(a in arb_poly_p()) {
-        prop_assert_eq!(
+#[test]
+fn poly10_byte_roundtrip() {
+    for mut rng in cases(CASES) {
+        let a = rand_poly_p(&mut rng);
+        assert_eq!(
             packing::poly_from_bytes::<10>(&packing::poly_to_bytes(&a)),
-            a
+            a,
+            "case seed {}",
+            rng.seed()
         );
     }
+}
 
-    #[test]
-    fn word_image_roundtrip(a in arb_poly_q()) {
+#[test]
+fn word_image_roundtrip() {
+    for mut rng in cases(CASES) {
+        let a = rand_poly_q(&mut rng);
         let words = packing::poly13_to_words(&a);
-        prop_assert_eq!(words.len(), 52);
-        prop_assert_eq!(packing::poly13_from_words(&words), a);
+        assert_eq!(words.len(), 52);
+        assert_eq!(
+            packing::poly13_from_words(&words),
+            a,
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn secret_word_image_roundtrip(s in arb_secret()) {
+#[test]
+fn secret_word_image_roundtrip() {
+    for mut rng in cases(CASES) {
+        let s = rand_secret(&mut rng);
         let words = packing::secret_to_words(&s);
-        prop_assert_eq!(packing::secret_from_words(&words).unwrap(), s);
+        assert_eq!(
+            packing::secret_from_words(&words).unwrap(),
+            s,
+            "case seed {}",
+            rng.seed()
+        );
     }
+}
 
-    #[test]
-    fn rounding_error_is_bounded(a in arb_poly_q()) {
-        // |a − 8·round(a)| ≤ 4 (mod q, centered).
+#[test]
+fn rounding_error_is_bounded() {
+    // |a − 8·round(a)| ≤ 4 (mod q, centered).
+    for mut rng in cases(CASES) {
+        let a = rand_poly_q(&mut rng);
         let down: PolyP = rounding::scale_round(&a);
         let back: PolyQ = down.shift_up_to::<13>();
         let diff = &a - &back;
         for i in 0..N {
             let err = diff.coeff_centered(i);
-            prop_assert!(err.abs() <= 4, "coefficient {} error {}", i, err);
+            assert!(
+                err.abs() <= 4,
+                "coefficient {i} error {err}, case seed {}",
+                rng.seed()
+            );
         }
     }
+}
 
-    #[test]
-    fn negacyclic_shift_preserves_products(a in arb_poly_q(), s in arb_secret()) {
-        // (x·a)·s == x·(a·s).
+#[test]
+fn negacyclic_shift_preserves_products() {
+    // (x·a)·s == x·(a·s).
+    for mut rng in cases(CASES) {
+        let a = rand_poly_q(&mut rng);
+        let s = rand_secret(&mut rng);
         let lhs = schoolbook::mul_asym(&a.mul_by_x(), &s);
         let rhs = schoolbook::mul_asym(&a, &s).mul_by_x();
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs, "case seed {}", rng.seed());
     }
+}
 
-    #[test]
-    fn message_poly_roundtrip(msg in proptest::array::uniform32(any::<u8>())) {
+#[test]
+fn message_poly_roundtrip() {
+    for mut rng in cases(CASES) {
+        let msg = rng.bytes32();
         let poly: Poly<1> = packing::message_to_poly(&msg);
-        prop_assert_eq!(packing::poly_to_message(&poly), msg);
+        assert_eq!(
+            packing::poly_to_message(&poly),
+            msg,
+            "case seed {}",
+            rng.seed()
+        );
     }
 }

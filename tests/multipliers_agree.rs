@@ -1,8 +1,11 @@
 //! Cross-crate integration: every multiplier backend in the workspace —
-//! four software algorithms and six cycle-accurate hardware models —
-//! must compute identical products.
+//! five software algorithms and six cycle-accurate hardware models —
+//! must compute identical products, and every backend's `multiply_batch`
+//! must equal the mapped `multiply`.
+//!
+//! Driven by the deterministic `saber-testkit` harness (the offline
+//! replacement for proptest).
 
-use proptest::prelude::*;
 use saber::arch::{
     BaselineMultiplier, CentralizedMultiplier, DspPackedMultiplier, LightweightMultiplier,
     MemoryStrategy, ScaledLightweightMultiplier,
@@ -10,70 +13,124 @@ use saber::arch::{
 use saber::ring::mul::{
     KaratsubaMultiplier, NttMultiplier, SchoolbookMultiplier, ToomCook4Multiplier,
 };
-use saber::ring::{PolyMultiplier, PolyQ, SecretPoly};
+use saber::ring::{CachedSchoolbookMultiplier, PolyMultiplier, PolyQ, SecretPoly};
+use saber_testkit::{cases, Rng};
 
-fn arb_poly() -> impl Strategy<Value = PolyQ> {
-    proptest::collection::vec(0u16..8192, 256).prop_map(|v| PolyQ::from_fn(|i| v[i]))
+fn rand_poly(rng: &mut Rng) -> PolyQ {
+    PolyQ::from_fn(|_| rng.range_u16(0, 8191))
 }
 
 /// Saber-range secrets (|s| ≤ 4) — accepted by every backend including
 /// the DSP-packed HS-II.
-fn arb_saber_secret() -> impl Strategy<Value = SecretPoly> {
-    proptest::collection::vec(-4i8..=4, 256).prop_map(|v| SecretPoly::from_fn(|i| v[i]))
+fn rand_saber_secret(rng: &mut Rng) -> SecretPoly {
+    SecretPoly::from_fn(|_| rng.secret_coeff(4))
 }
 
 /// LightSaber-range secrets (|s| ≤ 5) — all backends except HS-II.
-fn arb_lightsaber_secret() -> impl Strategy<Value = SecretPoly> {
-    proptest::collection::vec(-5i8..=5, 256).prop_map(|v| SecretPoly::from_fn(|i| v[i]))
+fn rand_lightsaber_secret(rng: &mut Rng) -> SecretPoly {
+    SecretPoly::from_fn(|_| rng.secret_coeff(5))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn saber_range_backends() -> Vec<Box<dyn PolyMultiplier>> {
+    vec![
+        Box::new(KaratsubaMultiplier { levels: 8 }),
+        Box::new(ToomCook4Multiplier),
+        Box::new(NttMultiplier),
+        Box::new(CachedSchoolbookMultiplier::new()),
+        Box::new(BaselineMultiplier::new(256)),
+        Box::new(BaselineMultiplier::new(512)),
+        Box::new(CentralizedMultiplier::new(256)),
+        Box::new(CentralizedMultiplier::new(512)),
+        Box::new(DspPackedMultiplier::new()),
+        Box::new(LightweightMultiplier::new()),
+        Box::new(ScaledLightweightMultiplier::new(16, MemoryStrategy::WiderBus)),
+    ]
+}
 
-    #[test]
-    fn all_backends_agree_on_saber_range(a in arb_poly(), s in arb_saber_secret()) {
+#[test]
+fn all_backends_agree_on_saber_range() {
+    for mut rng in cases(24) {
+        let a = rand_poly(&mut rng);
+        let s = rand_saber_secret(&mut rng);
         let expected = SchoolbookMultiplier.multiply(&a, &s);
-        let mut backends: Vec<Box<dyn PolyMultiplier>> = vec![
-            Box::new(KaratsubaMultiplier { levels: 8 }),
-            Box::new(ToomCook4Multiplier),
-            Box::new(NttMultiplier),
-            Box::new(BaselineMultiplier::new(256)),
-            Box::new(BaselineMultiplier::new(512)),
-            Box::new(CentralizedMultiplier::new(256)),
-            Box::new(CentralizedMultiplier::new(512)),
-            Box::new(DspPackedMultiplier::new()),
-            Box::new(LightweightMultiplier::new()),
-            Box::new(ScaledLightweightMultiplier::new(16, MemoryStrategy::WiderBus)),
-        ];
-        for backend in backends.iter_mut() {
+        for backend in saber_range_backends().iter_mut() {
             let product = backend.multiply(&a, &s);
-            prop_assert_eq!(
+            assert_eq!(
                 product.coeffs(),
                 expected.coeffs(),
-                "backend {} disagrees",
-                backend.name()
+                "backend {} disagrees, case seed {}",
+                backend.name(),
+                rng.seed()
             );
         }
     }
+}
 
-    #[test]
-    fn lightsaber_range_backends_agree(a in arb_poly(), s in arb_lightsaber_secret()) {
-        // HS-II excluded: its 15-bit packing requires |s| ≤ 4 (§3.2).
+#[test]
+fn lightsaber_range_backends_agree() {
+    // HS-II excluded: its 15-bit packing requires |s| ≤ 4 (§3.2).
+    for mut rng in cases(24) {
+        let a = rand_poly(&mut rng);
+        let s = rand_lightsaber_secret(&mut rng);
         let expected = SchoolbookMultiplier.multiply(&a, &s);
         let mut backends: Vec<Box<dyn PolyMultiplier>> = vec![
             Box::new(ToomCook4Multiplier),
+            Box::new(CachedSchoolbookMultiplier::new()),
             Box::new(CentralizedMultiplier::new(512)),
             Box::new(LightweightMultiplier::new()),
         ];
         for backend in backends.iter_mut() {
             let product = backend.multiply(&a, &s);
-            prop_assert_eq!(
+            assert_eq!(
                 product.coeffs(),
                 expected.coeffs(),
-                "backend {} disagrees",
-                backend.name()
+                "backend {} disagrees, case seed {}",
+                backend.name(),
+                rng.seed()
             );
         }
+    }
+}
+
+/// The batch entry point must be extensionally equal to the mapped
+/// per-call path for EVERY backend — both for those inheriting the
+/// default loop and for `CachedSchoolbookMultiplier`, which overrides
+/// it with the shared-decomposition fast path.
+#[test]
+fn multiply_batch_equals_mapped_multiply_for_every_backend() {
+    for mut rng in cases(8) {
+        // A mat-vec-shaped batch: 3 distinct secrets, each paired with
+        // 3 distinct publics (so the batch has repeated-secret structure
+        // to exercise decomposition reuse).
+        let secrets: Vec<SecretPoly> = (0..3).map(|_| rand_saber_secret(&mut rng)).collect();
+        let publics: Vec<PolyQ> = (0..9).map(|_| rand_poly(&mut rng)).collect();
+        let ops: Vec<(&PolyQ, &SecretPoly)> = publics
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a, &secrets[i % 3]))
+            .collect();
+        for backend in saber_range_backends().iter_mut() {
+            let batched = backend.multiply_batch(&ops);
+            let mapped: Vec<PolyQ> = ops.iter().map(|(a, s)| backend.multiply(a, s)).collect();
+            assert_eq!(
+                batched,
+                mapped,
+                "backend {} batch/mapped mismatch, case seed {}",
+                backend.name(),
+                rng.seed()
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_batch_is_empty() {
+    for backend in saber_range_backends().iter_mut() {
+        assert!(
+            backend.multiply_batch(&[]).is_empty(),
+            "backend {}",
+            backend.name()
+        );
     }
 }
 
@@ -96,6 +153,7 @@ fn adversarial_operands() {
     for (idx, (a, s)) in cases.iter().enumerate() {
         let expected = SchoolbookMultiplier.multiply(a, s);
         let mut backends: Vec<Box<dyn PolyMultiplier>> = vec![
+            Box::new(CachedSchoolbookMultiplier::new()),
             Box::new(CentralizedMultiplier::new(256)),
             Box::new(DspPackedMultiplier::new()),
             Box::new(LightweightMultiplier::new()),

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Offline CI gate for the workspace. Everything here runs with zero
+# network access — the workspace has no external dependencies.
+#
+#   tools/ci.sh          # lint + build + test + compile benches
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
+echo "==> ci: all green"
