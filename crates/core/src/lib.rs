@@ -42,6 +42,7 @@ pub mod baseline;
 pub mod centralized;
 pub mod dsp_packed;
 pub mod engine;
+pub mod fault;
 pub mod karatsuba_hw;
 pub mod leakage;
 pub mod lightweight;

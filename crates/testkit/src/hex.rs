@@ -1,0 +1,116 @@
+//! Lowercase hex encoding/decoding for test vectors.
+//!
+//! The golden-KAT files store byte strings as hex; this is the one
+//! canonical codec every crate in the workspace shares, so vectors
+//! written by one layer are always readable by another.
+
+use std::fmt;
+
+/// Error returned by [`decode`] for malformed hex input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HexError {
+    /// Input length is odd (hex encodes whole bytes only).
+    OddLength(usize),
+    /// A character outside `[0-9a-fA-F]` at the given position.
+    BadDigit {
+        /// Byte offset of the offending character.
+        position: usize,
+        /// The offending character.
+        character: char,
+    },
+}
+
+impl fmt::Display for HexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HexError::OddLength(len) => write!(f, "odd hex length {len}"),
+            HexError::BadDigit {
+                position,
+                character,
+            } => write!(f, "invalid hex digit {character:?} at {position}"),
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+/// Encodes bytes as lowercase hex.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(saber_testkit::hex::encode(&[0xde, 0xad, 0x01]), "dead01");
+/// assert_eq!(saber_testkit::hex::encode(&[]), "");
+/// ```
+#[must_use]
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble < 16"));
+        out.push(char::from_digit(u32::from(b & 0xf), 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Decodes a hex string (either case) into bytes.
+///
+/// # Errors
+///
+/// Returns [`HexError`] on odd length or a non-hex character.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(saber_testkit::hex::decode("DEAD01").unwrap(), vec![0xde, 0xad, 0x01]);
+/// assert!(saber_testkit::hex::decode("abc").is_err());
+/// ```
+pub fn decode(hex: &str) -> Result<Vec<u8>, HexError> {
+    if !hex.len().is_multiple_of(2) {
+        return Err(HexError::OddLength(hex.len()));
+    }
+    let digit = |position: usize, character: char| -> Result<u8, HexError> {
+        character
+            .to_digit(16)
+            .map(|d| d as u8)
+            .ok_or(HexError::BadDigit {
+                position,
+                character,
+            })
+    };
+    let chars: Vec<char> = hex.chars().collect();
+    let mut out = Vec::with_capacity(chars.len() / 2);
+    for (i, pair) in chars.chunks(2).enumerate() {
+        out.push((digit(2 * i, pair[0])? << 4) | digit(2 * i + 1, pair[1])?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        let bytes: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&bytes)).unwrap(), bytes);
+    }
+
+    #[test]
+    fn uppercase_accepted() {
+        assert_eq!(decode("FF00").unwrap(), vec![0xff, 0x00]);
+    }
+
+    #[test]
+    fn errors_name_the_problem() {
+        assert_eq!(decode("f").unwrap_err(), HexError::OddLength(1));
+        let err = decode("0g").unwrap_err();
+        assert_eq!(
+            err,
+            HexError::BadDigit {
+                position: 1,
+                character: 'g'
+            }
+        );
+        assert!(err.to_string().contains("'g'"));
+    }
+}

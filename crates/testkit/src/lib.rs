@@ -38,6 +38,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hex;
+
 /// A SplitMix64 pseudo-random generator.
 ///
 /// SplitMix64 passes BigCrush, needs eight bytes of state, and — unlike

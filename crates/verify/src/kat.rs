@@ -1,0 +1,366 @@
+//! The golden known-answer framework: generate and replay the frozen
+//! JSON vectors under `crates/verify/kats/`.
+//!
+//! Provenance is two-tiered and recorded in each file's `source` field:
+//!
+//! * `keccak.json` is produced by `tools/gen_keccak_json_kats.py` from
+//!   CPython's `hashlib` — an **independent** implementation, so it
+//!   anchors our sponge against the outside world.
+//! * `ring_mul.json`, `pke.json` and `kem_roundtrip.json` are produced
+//!   by the `gen-kats` binary from the workspace's own schoolbook path.
+//!   They are **frozen regression anchors**: the byte framing of keys
+//!   and ciphertexts is workspace-specific (no external implementation
+//!   emits it), so their value is pinning today's verified answers
+//!   against tomorrow's refactors.
+//!
+//! Each `verify_*` function returns the number of vectors checked, so a
+//! truncated or empty file fails loudly instead of passing vacuously.
+
+use std::path::PathBuf;
+
+use saber_kem::{kem, serialize, ALL_PARAMS};
+use saber_keccak::{Sha3_256, Sha3_512, Shake128, Shake256};
+use saber_ring::mul::SchoolbookMultiplier;
+use saber_ring::packing;
+use saber_ring::{schoolbook, PolyQ, SecretPoly, N};
+use saber_testkit::{hex, Rng};
+
+use crate::corpus;
+use crate::json::Value;
+
+/// Root seed for the Rust-generated vector families.
+const KAT_SEED: u64 = 0x4B41_5453; // "KATS"
+
+/// The checked-in KAT directory (`crates/verify/kats`).
+#[must_use]
+pub fn kats_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("kats")
+}
+
+/// Loads and parses one KAT file by stem (e.g. `"ring_mul"`).
+///
+/// # Errors
+///
+/// Returns a message naming the file on IO or parse failure.
+pub fn load(stem: &str) -> Result<Value, String> {
+    let path = kats_dir().join(format!("{stem}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    crate::json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: impl Into<String>) -> Value {
+    Value::Str(text.into())
+}
+
+fn hex_field(doc: &Value, key: &str) -> Result<Vec<u8>, String> {
+    hex::decode(doc.str_field(key)?).map_err(|e| format!("field {key:?}: {e}"))
+}
+
+fn vectors_of<'a>(doc: &'a Value, file: &str) -> Result<&'a [Value], String> {
+    let vectors = doc
+        .get("vectors")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{file}: missing \"vectors\" array"))?;
+    if vectors.is_empty() {
+        return Err(format!("{file}: vector list is empty"));
+    }
+    Ok(vectors)
+}
+
+// --- ring multiplication -------------------------------------------------
+
+/// Generates the ring-multiplication vectors: four corpus cases per
+/// secret bound (5, 4, 3 — the three parameter sets), products computed
+/// by the schoolbook oracle.
+#[must_use]
+pub fn gen_ring() -> Value {
+    let mut vectors = Vec::new();
+    for bound in [5i8, 4, 3] {
+        let mut rng = Rng::new(KAT_SEED ^ u64::from(bound as u8));
+        for index in 0..4 {
+            let case = corpus::generate(&mut rng, index, bound);
+            let product = schoolbook::mul_asym(&case.public, &case.secret);
+            vectors.push(obj(vec![
+                ("bound", Value::Int(i64::from(bound))),
+                ("kind", s(case.kind.label())),
+                ("public", s(hex::encode(&packing::poly_to_bytes(&case.public)))),
+                ("secret", s(hex::encode(&case.secret.to_nibbles()))),
+                ("product", s(hex::encode(&packing::poly_to_bytes(&product)))),
+            ]));
+        }
+    }
+    obj(vec![
+        ("name", s("ring_mul")),
+        ("source", s("saber-verify gen-kats (schoolbook oracle, frozen)")),
+        ("vectors", Value::Array(vectors)),
+    ])
+}
+
+/// Replays the ring-multiplication vectors.
+///
+/// # Errors
+///
+/// Returns the first mismatching vector's description.
+pub fn verify_ring(doc: &Value) -> Result<usize, String> {
+    let vectors = vectors_of(doc, "ring_mul")?;
+    for (i, vector) in vectors.iter().enumerate() {
+        let public: PolyQ = packing::poly_from_bytes(&hex_field(vector, "public")?);
+        let nibbles: [u8; N] = hex_field(vector, "secret")?
+            .try_into()
+            .map_err(|_| format!("vector {i}: secret is not {N} nibbles"))?;
+        let secret = SecretPoly::from_nibbles(&nibbles)
+            .map_err(|e| format!("vector {i}: {e:?}"))?;
+        let expected = hex_field(vector, "product")?;
+        let got = packing::poly_to_bytes(&schoolbook::mul_asym(&public, &secret));
+        if got != expected {
+            return Err(format!(
+                "ring vector {i} ({}) product mismatch",
+                vector.str_field("kind").unwrap_or("?")
+            ));
+        }
+    }
+    Ok(vectors.len())
+}
+
+// --- keccak --------------------------------------------------------------
+
+/// Replays the hashlib-derived keccak vectors.
+///
+/// # Errors
+///
+/// Returns the first mismatching vector's description.
+pub fn verify_keccak(doc: &Value) -> Result<usize, String> {
+    let vectors = vectors_of(doc, "keccak")?;
+    for (i, vector) in vectors.iter().enumerate() {
+        let alg = vector.str_field("alg")?;
+        let msg = hex_field(vector, "msg")?;
+        let expected = hex_field(vector, "digest")?;
+        let got: Vec<u8> = match alg {
+            "sha3-256" => Sha3_256::digest(&msg).to_vec(),
+            "sha3-512" => Sha3_512::digest(&msg).to_vec(),
+            "shake128" => Shake128::xof(&msg, expected.len()),
+            "shake256" => Shake256::xof(&msg, expected.len()),
+            other => return Err(format!("keccak vector {i}: unknown alg {other:?}")),
+        };
+        if got != expected {
+            return Err(format!("keccak vector {i} ({alg}, {} bytes) mismatch", msg.len()));
+        }
+    }
+    Ok(vectors.len())
+}
+
+// --- PKE -----------------------------------------------------------------
+
+/// Generates the IND-CPA vectors: one deterministic
+/// keygen/encrypt/decrypt transcript per parameter set.
+#[must_use]
+pub fn gen_pke() -> Value {
+    let mut rng = Rng::new(KAT_SEED ^ 0x0050_4B45); // "PKE"
+    let mut backend = SchoolbookMultiplier;
+    let mut vectors = Vec::new();
+    for params in &ALL_PARAMS {
+        let seed_a = rng.bytes32();
+        let seed_s = rng.bytes32();
+        let msg = rng.bytes32();
+        let coins = rng.bytes32();
+        let (pk, sk) = saber_kem::pke::keygen(params, seed_a, &seed_s, &mut backend);
+        let ct = saber_kem::pke::encrypt(&pk, &msg, &coins, &mut backend);
+        assert_eq!(
+            saber_kem::pke::decrypt(&sk, &ct, &mut backend),
+            msg,
+            "generator self-check: decrypt must invert encrypt"
+        );
+        vectors.push(obj(vec![
+            ("set", s(params.name)),
+            ("seed_a", s(hex::encode(&seed_a))),
+            ("seed_s", s(hex::encode(&seed_s))),
+            ("msg", s(hex::encode(&msg))),
+            ("coins", s(hex::encode(&coins))),
+            ("pk", s(hex::encode(&serialize::public_key_to_bytes(&pk)))),
+            ("ct", s(hex::encode(&serialize::ciphertext_to_bytes(&ct, params)))),
+        ]));
+    }
+    obj(vec![
+        ("name", s("pke")),
+        ("source", s("saber-verify gen-kats (schoolbook backend, frozen)")),
+        ("vectors", Value::Array(vectors)),
+    ])
+}
+
+/// Replays the IND-CPA vectors: regenerates keys from the stored seeds,
+/// re-encrypts, and decrypts the stored ciphertext.
+///
+/// # Errors
+///
+/// Returns the first mismatching vector's description.
+pub fn verify_pke(doc: &Value) -> Result<usize, String> {
+    let vectors = vectors_of(doc, "pke")?;
+    let mut backend = SchoolbookMultiplier;
+    for (i, vector) in vectors.iter().enumerate() {
+        let set = vector.str_field("set")?;
+        let params = ALL_PARAMS
+            .iter()
+            .find(|p| p.name == set)
+            .ok_or_else(|| format!("pke vector {i}: unknown set {set:?}"))?;
+        let to32 = |key: &str| -> Result<[u8; 32], String> {
+            hex_field(vector, key)?
+                .try_into()
+                .map_err(|_| format!("pke vector {i}: {key} is not 32 bytes"))
+        };
+        let (seed_a, seed_s, msg, coins) =
+            (to32("seed_a")?, to32("seed_s")?, to32("msg")?, to32("coins")?);
+        let (pk, sk) = saber_kem::pke::keygen(params, seed_a, &seed_s, &mut backend);
+        if serialize::public_key_to_bytes(&pk) != hex_field(vector, "pk")? {
+            return Err(format!("pke vector {i} ({set}): public key drifted"));
+        }
+        let ct = saber_kem::pke::encrypt(&pk, &msg, &coins, &mut backend);
+        let ct_bytes = serialize::ciphertext_to_bytes(&ct, params);
+        if ct_bytes != hex_field(vector, "ct")? {
+            return Err(format!("pke vector {i} ({set}): ciphertext drifted"));
+        }
+        let ct_decoded = serialize::ciphertext_from_bytes(&ct_bytes, params)
+            .map_err(|e| format!("pke vector {i} ({set}): {e:?}"))?;
+        if saber_kem::pke::decrypt(&sk, &ct_decoded, &mut backend) != msg {
+            return Err(format!("pke vector {i} ({set}): decryption mismatch"));
+        }
+    }
+    Ok(vectors.len())
+}
+
+// --- KEM -----------------------------------------------------------------
+
+/// Generates the full KEM round-trip vectors: two transcripts per
+/// parameter set (keygen seed + encapsulation entropy → serialized
+/// keys, ciphertext and shared secret).
+#[must_use]
+pub fn gen_kem() -> Value {
+    let mut rng = Rng::new(KAT_SEED ^ 0x004B_454D); // "KEM"
+    let mut backend = SchoolbookMultiplier;
+    let mut vectors = Vec::new();
+    for params in &ALL_PARAMS {
+        for _ in 0..2 {
+            let keygen_seed = rng.bytes32();
+            let entropy = rng.bytes32();
+            let (pk, sk) = kem::keygen(params, &keygen_seed, &mut backend);
+            let (ct, ss) = kem::encaps(&pk, &entropy, &mut backend);
+            assert_eq!(
+                kem::decaps(&sk, &ct, &mut backend).as_bytes(),
+                ss.as_bytes(),
+                "generator self-check: decaps must agree with encaps"
+            );
+            vectors.push(obj(vec![
+                ("set", s(params.name)),
+                ("keygen_seed", s(hex::encode(&keygen_seed))),
+                ("entropy", s(hex::encode(&entropy))),
+                ("pk", s(hex::encode(&serialize::public_key_to_bytes(&pk)))),
+                ("sk", s(hex::encode(&serialize::secret_key_to_bytes(&sk)))),
+                ("ct", s(hex::encode(&serialize::ciphertext_to_bytes(&ct, params)))),
+                ("ss", s(hex::encode(ss.as_bytes()))),
+            ]));
+        }
+    }
+    obj(vec![
+        ("name", s("kem_roundtrip")),
+        ("source", s("saber-verify gen-kats (schoolbook backend, frozen)")),
+        ("vectors", Value::Array(vectors)),
+    ])
+}
+
+/// Replays the KEM vectors: regenerates the key pair, checks both
+/// serializations, re-encapsulates, and decapsulates through a secret
+/// key deserialized from the stored bytes.
+///
+/// # Errors
+///
+/// Returns the first mismatching vector's description.
+pub fn verify_kem(doc: &Value) -> Result<usize, String> {
+    let vectors = vectors_of(doc, "kem_roundtrip")?;
+    let mut backend = SchoolbookMultiplier;
+    for (i, vector) in vectors.iter().enumerate() {
+        let set = vector.str_field("set")?;
+        let params = ALL_PARAMS
+            .iter()
+            .find(|p| p.name == set)
+            .ok_or_else(|| format!("kem vector {i}: unknown set {set:?}"))?;
+        let to32 = |key: &str| -> Result<[u8; 32], String> {
+            hex_field(vector, key)?
+                .try_into()
+                .map_err(|_| format!("kem vector {i}: {key} is not 32 bytes"))
+        };
+        let (pk, sk) = kem::keygen(params, &to32("keygen_seed")?, &mut backend);
+        if serialize::public_key_to_bytes(&pk) != hex_field(vector, "pk")? {
+            return Err(format!("kem vector {i} ({set}): public key drifted"));
+        }
+        let sk_bytes = serialize::secret_key_to_bytes(&sk);
+        if sk_bytes != hex_field(vector, "sk")? {
+            return Err(format!("kem vector {i} ({set}): secret key drifted"));
+        }
+        let (ct, ss) = kem::encaps(&pk, &to32("entropy")?, &mut backend);
+        if serialize::ciphertext_to_bytes(&ct, params) != hex_field(vector, "ct")? {
+            return Err(format!("kem vector {i} ({set}): ciphertext drifted"));
+        }
+        if ss.as_bytes().as_slice() != hex_field(vector, "ss")? {
+            return Err(format!("kem vector {i} ({set}): shared secret drifted"));
+        }
+        // Decapsulate through the frozen serialized secret key, so the
+        // vector also pins the secret-key byte framing end to end.
+        let sk_decoded = serialize::secret_key_from_bytes(&sk_bytes, params)
+            .map_err(|e| format!("kem vector {i} ({set}): {e:?}"))?;
+        if kem::decaps(&sk_decoded, &ct, &mut backend).as_bytes() != ss.as_bytes() {
+            return Err(format!("kem vector {i} ({set}): decapsulation mismatch"));
+        }
+    }
+    Ok(vectors.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_ring_vectors_replay() {
+        let doc = gen_ring();
+        assert_eq!(verify_ring(&doc).unwrap(), 12);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(crate::json::write(&gen_ring()), crate::json::write(&gen_ring()));
+        assert_eq!(crate::json::write(&gen_kem()), crate::json::write(&gen_kem()));
+    }
+
+    #[test]
+    fn verification_rejects_a_corrupted_vector() {
+        let mut doc = gen_ring();
+        if let Value::Object(entries) = &mut doc {
+            if let Some((_, Value::Array(vectors))) =
+                entries.iter_mut().find(|(k, _)| k == "vectors")
+            {
+                if let Value::Object(fields) = &mut vectors[0] {
+                    for (k, v) in fields.iter_mut() {
+                        if k == "product" {
+                            *v = Value::Str("00".repeat(416));
+                        }
+                    }
+                }
+            }
+        }
+        assert!(verify_ring(&doc).unwrap_err().contains("vector 0"));
+    }
+
+    #[test]
+    fn empty_vector_lists_fail_loudly() {
+        let doc = obj(vec![("vectors", Value::Array(vec![]))]);
+        assert!(verify_ring(&doc).unwrap_err().contains("empty"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Failing-case shrinking: reduce a mismatching operand pair to a
+//! minimal reproducer.
+//!
+//! A differential failure on a dense random case implicates 65,536
+//! coefficient products at once. The shrinker performs greedy
+//! delta-debugging — zero out aligned blocks from 128 coefficients down
+//! to single positions, then pull surviving magnitudes toward zero —
+//! keeping every step on which the backend still disagrees with the
+//! schoolbook oracle. The result is typically a handful of nonzero
+//! coefficients that point straight at the faulty datapath lane.
+
+use saber_ring::{schoolbook, PolyMultiplier, PolyQ, SecretPoly, N};
+
+/// A minimized failing case.
+#[derive(Debug, Clone)]
+pub struct ShrunkCase {
+    /// Minimized public operand.
+    pub public: PolyQ,
+    /// Minimized secret operand.
+    pub secret: SecretPoly,
+    /// Number of nonzero public coefficients remaining.
+    pub nonzero_public: usize,
+    /// Number of nonzero secret coefficients remaining.
+    pub nonzero_secret: usize,
+}
+
+impl std::fmt::Display for ShrunkCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shrunk to {} public / {} secret nonzero coefficients:",
+            self.nonzero_public, self.nonzero_secret
+        )?;
+        for (i, &a) in self.public.coeffs().iter().enumerate() {
+            if a != 0 {
+                write!(f, " a[{i}]={a}")?;
+            }
+        }
+        for (i, &s) in self.secret.coeffs().iter().enumerate() {
+            if s != 0 {
+                write!(f, " s[{i}]={s}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Does `backend` still disagree with the oracle on `(a, s)`?
+fn still_fails(backend: &mut dyn PolyMultiplier, a: &PolyQ, s: &SecretPoly) -> bool {
+    backend.multiply(a, s) != schoolbook::mul_asym(a, s)
+}
+
+/// Shrinks a failing `(public, secret)` pair against `backend`.
+///
+/// The input pair must already mismatch the oracle; the returned case is
+/// guaranteed to still mismatch.
+///
+/// # Panics
+///
+/// Panics if the input pair does not actually fail (nothing to shrink).
+#[must_use]
+pub fn shrink(backend: &mut dyn PolyMultiplier, public: &PolyQ, secret: &SecretPoly) -> ShrunkCase {
+    let mut a: [u16; N] = *public.coeffs();
+    let mut s: [i8; N] = *secret.coeffs();
+    assert!(
+        still_fails(
+            backend,
+            &PolyQ::from_coeffs(a),
+            &SecretPoly::try_from_coeffs(s).expect("input within range")
+        ),
+        "shrink() needs a failing case"
+    );
+
+    let rebuild = |a: &[u16; N], s: &[i8; N]| {
+        (
+            PolyQ::from_coeffs(*a),
+            SecretPoly::try_from_coeffs(*s).expect("shrinking never grows magnitudes"),
+        )
+    };
+
+    // Phase 1: block zeroing, halving the block size each round. Zero
+    // the secret first — fewer surviving secret terms shrink the public
+    // side faster, since untouched public columns become irrelevant.
+    let mut block = 128usize;
+    while block >= 1 {
+        for start in (0..N).step_by(block) {
+            let saved: Vec<i8> = s[start..start + block].to_vec();
+            if saved.iter().all(|&v| v == 0) {
+                continue;
+            }
+            s[start..start + block].fill(0);
+            let (pa, ps) = rebuild(&a, &s);
+            if !still_fails(backend, &pa, &ps) {
+                s[start..start + block].copy_from_slice(&saved);
+            }
+        }
+        for start in (0..N).step_by(block) {
+            let saved: Vec<u16> = a[start..start + block].to_vec();
+            if saved.iter().all(|&v| v == 0) {
+                continue;
+            }
+            a[start..start + block].fill(0);
+            let (pa, ps) = rebuild(&a, &s);
+            if !still_fails(backend, &pa, &ps) {
+                a[start..start + block].copy_from_slice(&saved);
+            }
+        }
+        block /= 2;
+    }
+
+    // Phase 2: magnitude minimization on the survivors. Try the
+    // smallest candidates first; keep the first that still fails.
+    for i in 0..N {
+        if s[i] != 0 {
+            let sign = s[i].signum();
+            for mag in 1..s[i].unsigned_abs() as i8 {
+                let saved = s[i];
+                s[i] = sign * mag;
+                let (pa, ps) = rebuild(&a, &s);
+                if still_fails(backend, &pa, &ps) {
+                    break;
+                }
+                s[i] = saved;
+            }
+        }
+        if a[i] != 0 {
+            for candidate in [1u16, 2, 4096, 8191] {
+                if candidate >= a[i] {
+                    break;
+                }
+                let saved = a[i];
+                a[i] = candidate;
+                let (pa, ps) = rebuild(&a, &s);
+                if still_fails(backend, &pa, &ps) {
+                    break;
+                }
+                a[i] = saved;
+            }
+        }
+    }
+
+    let (public, secret) = rebuild(&a, &s);
+    ShrunkCase {
+        nonzero_public: a.iter().filter(|&&v| v != 0).count(),
+        nonzero_secret: s.iter().filter(|&&v| v != 0).count(),
+        public,
+        secret,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately broken backend: drops the contribution of one
+    /// specific secret position.
+    struct DropsPosition(usize);
+
+    impl PolyMultiplier for DropsPosition {
+        fn multiply(&mut self, public: &PolyQ, secret: &SecretPoly) -> PolyQ {
+            let mut patched = *secret.coeffs();
+            patched[self.0] = 0;
+            schoolbook::mul_asym(
+                public,
+                &SecretPoly::try_from_coeffs(patched).expect("unchanged range"),
+            )
+        }
+        fn name(&self) -> &str {
+            "drops-position"
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_faulty_lane() {
+        let mut backend = DropsPosition(200);
+        let public = PolyQ::from_fn(|i| (i as u16).wrapping_mul(123) & 0x1fff);
+        let secret = SecretPoly::from_fn(|i| (((i * 7) % 9) as i8) - 4);
+        let shrunk = shrink(&mut backend, &public, &secret);
+        assert_eq!(shrunk.nonzero_secret, 1, "{shrunk}");
+        assert_ne!(shrunk.secret.coeff(200), 0);
+        assert!(shrunk.nonzero_public <= 2, "{shrunk}");
+        assert!(still_fails(&mut backend, &shrunk.public, &shrunk.secret));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a failing case")]
+    fn refuses_a_passing_case() {
+        let mut honest = saber_ring::mul::SchoolbookMultiplier;
+        let _ = shrink(&mut honest, &PolyQ::zero(), &SecretPoly::zero());
+    }
+
+    #[test]
+    fn display_lists_survivors() {
+        let mut backend = DropsPosition(3);
+        let public = PolyQ::from_fn(|_| 8191);
+        let secret = SecretPoly::from_fn(|_| 2);
+        let shrunk = shrink(&mut backend, &public, &secret);
+        let text = shrunk.to_string();
+        assert!(text.contains("s[3]="), "{text}");
+    }
+}

@@ -1,0 +1,24 @@
+//! The differential fuzz gate: every backend in the registry must agree
+//! with the schoolbook oracle on the full stratified corpus, for every
+//! parameter set.
+//!
+//! Budget: `FuzzConfig::standard()` — a small smoke sweep under plain
+//! `cargo test` (debug), the full 2,048-cases-per-set sweep in release,
+//! and whatever `SABER_FUZZ_CASES` requests when set (that is how
+//! `tools/ci.sh` pins the CI budget explicitly).
+
+use saber_verify::differential::{run, FuzzConfig};
+
+#[test]
+fn all_backends_agree_with_the_oracle() {
+    let config = FuzzConfig::standard();
+    let report = run(&config);
+    assert!(
+        report.mismatches.is_empty(),
+        "differential fuzzing found {} mismatch(es) (seed {:#x}):\n{report}",
+        report.mismatches.len(),
+        config.seed,
+    );
+    // Every case checks at least the 16 unrestricted backends.
+    assert!(report.products_checked >= (config.cases_per_set as u64) * 3 * 16);
+}

@@ -1,0 +1,76 @@
+//! The mutation-style sensitivity gate: the differential fuzzer must
+//! detect **every** seeded fault in `saber_core::fault` — otherwise the
+//! fuzz corpus has a blind spot exactly where a real RTL bug could hide.
+//!
+//! The budget here is deliberately small (64 cases per mutant): a
+//! corpus that needs thousands of cases to notice a stuck sign line or a
+//! dropped carry fix would be too weak to trust.
+
+use saber_core::fault::{Fault, FaultyMultiplier};
+use saber_verify::differential::{sweep_backend, DEFAULT_SEED};
+
+const CASES_PER_MUTANT: usize = 64;
+
+#[test]
+fn every_seeded_fault_is_detected() {
+    let mut undetected = Vec::new();
+    for fault in Fault::ALL {
+        let mut mutant = FaultyMultiplier::new(fault);
+        let bound = fault.secret_bound();
+        if sweep_backend(&mut mutant, bound, DEFAULT_SEED, CASES_PER_MUTANT).is_none() {
+            undetected.push(fault);
+        }
+    }
+    assert!(
+        undetected.is_empty(),
+        "the fuzzer missed {}/{} seeded faults: {undetected:?} — \
+         the corpus has a coverage hole",
+        undetected.len(),
+        Fault::ALL.len(),
+    );
+}
+
+#[test]
+fn detection_is_fast_and_reproducers_are_small() {
+    // Beyond mere detection: every mutant should fall within the first
+    // few corpus rounds and shrink to a compact reproducer, evidence the
+    // adversarial kinds (not luck) are doing the work.
+    for fault in Fault::ALL {
+        let mut mutant = FaultyMultiplier::new(fault);
+        let mismatch = sweep_backend(
+            &mut mutant,
+            fault.secret_bound(),
+            DEFAULT_SEED,
+            CASES_PER_MUTANT,
+        )
+        .unwrap_or_else(|| panic!("{fault:?} undetected"));
+        assert!(
+            mismatch.case_index < 24,
+            "{fault:?} took {} cases to detect",
+            mismatch.case_index
+        );
+        let total_nonzero = mismatch.shrunk.nonzero_public + mismatch.shrunk.nonzero_secret;
+        assert!(
+            total_nonzero <= 16,
+            "{fault:?} reproducer still has {total_nonzero} nonzero coefficients: {}",
+            mismatch.shrunk
+        );
+    }
+}
+
+#[test]
+fn shrunk_reproducers_still_fail() {
+    use saber_ring::{schoolbook, PolyMultiplier};
+    for fault in [Fault::HsIICarryFixDropped, Fault::LwWrapSignDropped] {
+        let mut mutant = FaultyMultiplier::new(fault);
+        let mismatch = sweep_backend(&mut mutant, fault.secret_bound(), DEFAULT_SEED, 64)
+            .expect("detected above");
+        let a = &mismatch.shrunk.public;
+        let s = &mismatch.shrunk.secret;
+        assert_ne!(
+            mutant.multiply(a, s),
+            schoolbook::mul_asym(a, s),
+            "{fault:?}: shrunk case must remain a reproducer"
+        );
+    }
+}

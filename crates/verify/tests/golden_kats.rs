@@ -1,0 +1,57 @@
+//! Replay the checked-in golden KAT files against the live
+//! implementation.
+//!
+//! These tests read `crates/verify/kats/*.json` from the repository —
+//! frozen answers, not self-consistency. If one fails after an
+//! intentional change to byte framing, regenerate via
+//! `tools/gen_golden_kats.sh` and review the diff as part of the change.
+
+use saber_verify::kat;
+
+#[test]
+fn ring_multiplication_kats_replay() {
+    let doc = kat::load("ring_mul").expect("checked-in KAT file");
+    let checked = kat::verify_ring(&doc).expect("frozen ring products must replay");
+    assert_eq!(checked, 12, "4 vectors × 3 secret bounds");
+}
+
+#[test]
+fn keccak_kats_replay() {
+    let doc = kat::load("keccak").expect("checked-in KAT file");
+    let checked = kat::verify_keccak(&doc).expect("hashlib-derived digests must replay");
+    assert!(checked >= 16, "got only {checked} keccak vectors");
+}
+
+#[test]
+fn pke_kats_replay() {
+    let doc = kat::load("pke").expect("checked-in KAT file");
+    let checked = kat::verify_pke(&doc).expect("frozen PKE transcripts must replay");
+    assert_eq!(checked, 3, "one vector per parameter set");
+}
+
+#[test]
+fn kem_roundtrip_kats_replay() {
+    let doc = kat::load("kem_roundtrip").expect("checked-in KAT file");
+    let checked = kat::verify_kem(&doc).expect("frozen KEM transcripts must replay");
+    assert_eq!(checked, 6, "two vectors per parameter set");
+}
+
+#[test]
+fn checked_in_rust_vectors_match_the_generator() {
+    // The files on disk must be exactly what `gen-kats` writes today —
+    // this catches a forgotten regeneration after a deliberate framing
+    // change (the generator and the frozen file disagreeing is always a
+    // red flag, whichever of the two is right).
+    for (stem, generated) in [
+        ("ring_mul", kat::gen_ring()),
+        ("pke", kat::gen_pke()),
+        ("kem_roundtrip", kat::gen_kem()),
+    ] {
+        let on_disk = kat::load(stem).expect("checked-in KAT file");
+        assert_eq!(
+            on_disk, generated,
+            "{stem}.json drifted from gen-kats output; \
+             rerun tools/gen_golden_kats.sh and review the diff"
+        );
+    }
+}

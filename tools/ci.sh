@@ -2,7 +2,7 @@
 # Offline CI gate for the workspace. Everything here runs with zero
 # network access — the workspace has no external dependencies.
 #
-#   tools/ci.sh          # lint + build + test + compile benches
+#   tools/ci.sh          # lint + build + test + fuzz + fault gate + benches
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,6 +15,19 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q
+
+# Differential fuzz sweep: a fixed seed and an explicit case budget
+# (2,048 stratified cases per parameter set, every backend against the
+# schoolbook oracle) in release, where the full budget fits the CI
+# window. Plain `cargo test -q` above already ran the debug smoke sweep.
+echo "==> fuzz sweep: SABER_FUZZ_CASES=2048 (release)"
+SABER_FUZZ_CASES=2048 cargo test -q --release -p saber-verify --test differential_fuzz
+
+# Fault-injection sensitivity gate: every seeded mutant of the
+# cycle-accurate datapaths must be flagged by the fuzzer — 100 %
+# detection or the corpus has a blind spot.
+echo "==> fault-injection sensitivity gate (release)"
+cargo test -q --release -p saber-verify --test fault_sensitivity
 
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate every golden KAT file under crates/verify/kats/.
+#
+# Two provenances, two generators:
+#   * keccak.json       — CPython hashlib (independent oracle)
+#   * ring_mul / pke /
+#     kem_roundtrip     — the workspace's own schoolbook path, frozen
+#
+# A diff in the regenerated output means either the frozen answers were
+# wrong or the byte framing changed on purpose; both deserve review, so
+# commit KAT changes together with the code change that caused them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p crates/verify/kats
+python3 tools/gen_keccak_json_kats.py > crates/verify/kats/keccak.json
+echo "wrote crates/verify/kats/keccak.json"
+cargo run -q --release -p saber-verify --bin gen-kats

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Generate crates/verify/kats/keccak.json from CPython's hashlib.
+
+hashlib's SHA-3/SHAKE come from the reference Keccak Code Package — an
+implementation fully independent of this workspace — so these vectors
+anchor `saber-keccak` against the outside world rather than against
+itself. The message set deliberately brackets the SHA-3 rate boundaries
+(SHAKE128 rate 168, SHA3-256/SHAKE256 rate 136, SHA3-512 rate 72) where
+padding bugs live.
+
+Usage:
+    python3 tools/gen_keccak_json_kats.py > crates/verify/kats/keccak.json
+"""
+
+import hashlib
+import json
+
+MSGS = [
+    ("empty", b""),
+    ("byte", b"\x00"),
+    ("abc", b"abc"),
+    ("rate72_minus1", bytes(range(71))),
+    ("rate72", bytes(range(72))),
+    ("rate136_minus1", bytes((3 * i + 1) % 256 for i in range(135))),
+    ("rate136", bytes((3 * i + 1) % 256 for i in range(136))),
+    ("rate168_minus1", bytes((5 * i + 7) % 256 for i in range(167))),
+    ("rate168", bytes((5 * i + 7) % 256 for i in range(168))),
+    ("two_blocks", bytes((7 * i) % 256 for i in range(272))),
+    ("saber_pk_size", bytes((11 * i + 3) % 256 for i in range(992))),
+    ("long", bytes((13 * i + 5) % 256 for i in range(4096))),
+]
+
+ALGS = [
+    ("sha3-256", lambda m: hashlib.sha3_256(m).digest()),
+    ("sha3-512", lambda m: hashlib.sha3_512(m).digest()),
+    # 64-byte squeezes cross no block boundary; 1344/333 force multiple
+    # squeeze blocks from each sponge.
+    ("shake128", lambda m: hashlib.shake_128(m).digest(64)),
+    ("shake128", lambda m: hashlib.shake_128(m).digest(1344)),
+    ("shake256", lambda m: hashlib.shake_256(m).digest(64)),
+    ("shake256", lambda m: hashlib.shake_256(m).digest(333)),
+]
+
+
+def main() -> None:
+    vectors = []
+    for alg, fn in ALGS:
+        for label, msg in MSGS:
+            vectors.append(
+                {
+                    "alg": alg,
+                    "label": label,
+                    "msg": msg.hex(),
+                    "digest": fn(msg).hex(),
+                }
+            )
+    doc = {
+        "name": "keccak",
+        "source": "CPython hashlib (XKCP) via tools/gen_keccak_json_kats.py",
+        "vectors": vectors,
+    }
+    print(json.dumps(doc, indent=2))
+
+
+if __name__ == "__main__":
+    main()
