@@ -236,6 +236,188 @@ impl BatchBenchReport {
     }
 }
 
+/// One service-scaling data point: one operation on one parameter set
+/// at one worker count, with both the measured time and the model's
+/// projection (see [`ServiceBenchReport`] for the basis policy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceBenchEntry {
+    /// Parameter set name (`LightSaber` / `Saber` / `FireSaber`).
+    pub params: String,
+    /// Operation measured (`matvec`, `kem_mixed`, …).
+    pub op: String,
+    /// Worker threads in the service pool.
+    pub workers: u64,
+    /// Measured mean time per operation on *this* host, nanoseconds.
+    pub measured_ns_per_op: f64,
+    /// Modeled time per operation on a host with ≥ `workers` cores:
+    /// `work_ns / workers + dispatch_overhead_ns`, where `work_ns` is
+    /// the measured single-thread batched-engine time and the overhead
+    /// is calibrated from the 1-worker service measurement.
+    pub projected_ns_per_op: f64,
+    /// Which number is authoritative for this entry: `"measured"` when
+    /// the host had at least `workers` cores (the measurement exercises
+    /// real parallelism), `"projected"` otherwise (the measurement is
+    /// core-starved and the roofline model is the honest estimate —
+    /// same convention as the `coprocessor_projection` bench).
+    pub basis: String,
+}
+
+impl ServiceBenchEntry {
+    /// The basis-selected time per operation.
+    #[must_use]
+    pub fn effective_ns_per_op(&self) -> f64 {
+        if self.basis == "measured" {
+            self.measured_ns_per_op
+        } else {
+            self.projected_ns_per_op
+        }
+    }
+
+    /// Operations per second implied by the basis-selected time.
+    #[must_use]
+    pub fn ops_per_sec(&self) -> f64 {
+        let ns = self.effective_ns_per_op();
+        if ns > 0.0 {
+            1e9 / ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The `BENCH_service.json` report produced by the `service_throughput`
+/// bench: worker-count scaling of the concurrent KEM service against
+/// the single-thread batched engine.
+///
+/// Every entry carries measured *and* projected numbers plus an
+/// explicit `basis` tag, because scaling measurements are only
+/// meaningful when the host has as many cores as the pool has workers;
+/// on a smaller host the per-entry basis switches to the calibrated
+/// projection, and the JSON says so rather than publishing a
+/// core-starved measurement as if it were scaling.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceBenchReport {
+    /// `std::thread::available_parallelism()` on the measuring host.
+    pub host_parallelism: u64,
+    /// All recorded data points.
+    pub entries: Vec<ServiceBenchEntry>,
+}
+
+impl ServiceBenchReport {
+    /// Records one data point, deriving the basis from the host's core
+    /// count: measured when `host_parallelism ≥ workers`, projected
+    /// otherwise.
+    pub fn push(
+        &mut self,
+        params: &str,
+        op: &str,
+        workers: u64,
+        measured_ns_per_op: f64,
+        projected_ns_per_op: f64,
+    ) {
+        let basis = if self.host_parallelism >= workers {
+            "measured"
+        } else {
+            "projected"
+        };
+        self.entries.push(ServiceBenchEntry {
+            params: params.into(),
+            op: op.into(),
+            workers,
+            measured_ns_per_op,
+            projected_ns_per_op,
+            basis: basis.into(),
+        });
+    }
+
+    /// The entry for one (params, op, workers) cell.
+    #[must_use]
+    pub fn entry(&self, params: &str, op: &str, workers: u64) -> Option<&ServiceBenchEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.params == params && e.op == op && e.workers == workers)
+    }
+
+    /// Throughput speedup of the `workers`-worker pool over the
+    /// 1-worker pool for one (params, op) cell, using each entry's
+    /// basis-selected time.
+    #[must_use]
+    pub fn speedup_vs_single(&self, params: &str, op: &str, workers: u64) -> Option<f64> {
+        let one = self.entry(params, op, 1)?;
+        let n = self.entry(params, op, workers)?;
+        if n.effective_ns_per_op() > 0.0 {
+            Some(one.effective_ns_per_op() / n.effective_ns_per_op())
+        } else {
+            None
+        }
+    }
+
+    /// Serializes as `BENCH_service.json`: the `bench` tag, the host
+    /// core count, the flat entry list (measured + projected + basis),
+    /// and the derived worker-scaling speedups.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\n  \"bench\": \"service_throughput\",\n  \"host_parallelism\": {},\n  \"entries\": [\n",
+            self.host_parallelism
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"params\": \"{}\", \"op\": \"{}\", \"workers\": {}, \
+                 \"measured_ns_per_op\": {:.1}, \"projected_ns_per_op\": {:.1}, \
+                 \"basis\": \"{}\", \"ops_per_sec\": {:.2}}}{}\n",
+                e.params,
+                e.op,
+                e.workers,
+                e.measured_ns_per_op,
+                e.projected_ns_per_op,
+                e.basis,
+                e.ops_per_sec(),
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"scaling\": [\n");
+        let lines: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|e| e.workers > 1)
+            .filter_map(|e| {
+                self.speedup_vs_single(&e.params, &e.op, e.workers).map(|s| {
+                    format!(
+                        "    {{\"params\": \"{}\", \"op\": \"{}\", \"workers\": {}, \
+                         \"speedup_vs_1\": {s:.2}, \"basis\": \"{}\"}}",
+                        e.params, e.op, e.workers, e.basis
+                    )
+                })
+            })
+            .collect();
+        out.push_str(&lines.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Formats the report as a printable text table.
+    #[must_use]
+    pub fn format_text(&self) -> String {
+        let mut out = format!("host parallelism: {} cores\n", self.host_parallelism);
+        out.push_str(&format!(
+            "{:<12} {:<10} {:>7} {:>14} {:>14} {:<10} {:>9}\n",
+            "params", "op", "workers", "measured ns", "projected ns", "basis", "vs 1w"
+        ));
+        out.push_str(&format!("{}\n", "-".repeat(82)));
+        for e in &self.entries {
+            let speedup = self
+                .speedup_vs_single(&e.params, &e.op, e.workers)
+                .map_or_else(|| "-".into(), |s| format!("{s:.2}x"));
+            out.push_str(&format!(
+                "{:<12} {:<10} {:>7} {:>14.0} {:>14.0} {:<10} {:>9}\n",
+                e.params, e.op, e.workers, e.measured_ns_per_op, e.projected_ns_per_op, e.basis, speedup
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,5 +515,61 @@ mod tests {
         let text = sample_batch_report().format_text();
         assert!(text.contains("schoolbook_percall"));
         assert!(text.contains("Saber"));
+    }
+
+    /// A 2-core host measuring a 4-worker pool: 1- and 2-worker entries
+    /// are measured, 4-worker falls back to the projection.
+    fn sample_service_report() -> ServiceBenchReport {
+        let mut r = ServiceBenchReport {
+            host_parallelism: 2,
+            ..ServiceBenchReport::default()
+        };
+        // work = 4000ns, overhead = 100ns → projected(N) = 4000/N + 100.
+        r.push("Saber", "matvec", 1, 4100.0, 4100.0);
+        r.push("Saber", "matvec", 2, 2150.0, 2100.0);
+        r.push("Saber", "matvec", 4, 4100.0, 1100.0);
+        r
+    }
+
+    #[test]
+    fn service_report_basis_follows_host_core_count() {
+        let r = sample_service_report();
+        assert_eq!(r.entry("Saber", "matvec", 1).unwrap().basis, "measured");
+        assert_eq!(r.entry("Saber", "matvec", 2).unwrap().basis, "measured");
+        let four = r.entry("Saber", "matvec", 4).unwrap();
+        assert_eq!(four.basis, "projected", "core-starved → projection");
+        assert!((four.effective_ns_per_op() - 1100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn service_report_scaling_uses_basis_selected_times() {
+        let r = sample_service_report();
+        // measured 2-worker vs measured 1-worker.
+        let two = r.speedup_vs_single("Saber", "matvec", 2).unwrap();
+        assert!((two - 4100.0 / 2150.0).abs() < 1e-9);
+        // projected 4-worker vs measured 1-worker; comfortably >1.5x.
+        let four = r.speedup_vs_single("Saber", "matvec", 4).unwrap();
+        assert!((four - 4100.0 / 1100.0).abs() < 1e-9);
+        assert!(four > 1.5);
+        assert!(r.speedup_vs_single("Saber", "kem_mixed", 4).is_none());
+    }
+
+    #[test]
+    fn service_report_json_shape() {
+        let json = sample_service_report().to_json();
+        assert!(json.contains("\"bench\": \"service_throughput\""));
+        assert!(json.contains("\"host_parallelism\": 2"));
+        assert!(json.contains("\"basis\": \"projected\""));
+        assert!(json.contains("\"speedup_vs_1\": 3.73"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn service_report_text_lists_scaling() {
+        let text = sample_service_report().format_text();
+        assert!(text.contains("host parallelism: 2 cores"));
+        assert!(text.contains("projected"));
+        assert!(text.contains("3.73x"));
     }
 }

@@ -5,6 +5,19 @@
 //! Hash roles follow the spec: `F = SHA3-256` (public-key hash and final
 //! key derivation), `G = SHA3-512` (splits into the pre-key `K̂` and the
 //! encryption coins `r`).
+//!
+//! # Re-entrancy and threading
+//!
+//! [`keygen`], [`encaps`] and [`decaps`] are pure functions of their
+//! explicit inputs: all randomness enters through the caller-supplied
+//! 32-byte seed/entropy arguments (no global RNG, no interior state),
+//! so the same inputs give bit-identical outputs from any thread, in
+//! any interleaving. Key material, ciphertexts and shared secrets are
+//! plain owned data — `Send + Sync`, enforced at compile time below —
+//! which is what lets `saber-service` fan the three operations out
+//! across a worker pool and still promise sequential-equivalent
+//! results. The only per-call mutable state is the multiplier backend,
+//! which each worker owns exclusively (`&mut M`).
 
 use std::fmt;
 
@@ -201,6 +214,17 @@ pub fn decaps<M: PolyMultiplier + ?Sized>(
     }
 }
 
+// Compile-time proof of the threading contract documented above: every
+// value crossing the service layer's thread boundaries is Send + Sync.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<PublicKey>();
+    assert_send_sync::<KemSecretKey>();
+    assert_send_sync::<Ciphertext>();
+    assert_send_sync::<SharedSecret>();
+    assert_send_sync::<SaberParams>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +291,42 @@ mod tests {
         let (_, ss) = encaps(&pk, &[2; 32], &mut backend);
         assert_eq!(format!("{ss:?}"), "SharedSecret(<redacted>)");
         assert!(format!("{sk:?}").contains("redacted"));
+    }
+
+    #[test]
+    fn concurrent_ops_match_sequential() {
+        // The re-entrancy contract: the full keygen → encaps → decaps
+        // pipeline run on four threads at once, each with its own
+        // backend, reproduces the sequential transcripts bit for bit.
+        let mut backend = saber_ring::CachedSchoolbookMultiplier::new();
+        let expected: Vec<_> = (0..4u8)
+            .map(|i| {
+                let (pk, sk) = keygen(&SABER, &[i; 32], &mut backend);
+                let (ct, ss_enc) = encaps(&pk, &[i ^ 0x5a; 32], &mut backend);
+                let ss_dec = decaps(&sk, &ct, &mut backend);
+                (pk, ct, ss_enc, ss_dec)
+            })
+            .collect();
+        let got: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u8)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let mut backend = saber_ring::CachedSchoolbookMultiplier::new();
+                        let (pk, sk) = keygen(&SABER, &[i; 32], &mut backend);
+                        let (ct, ss_enc) = encaps(&pk, &[i ^ 0x5a; 32], &mut backend);
+                        let ss_dec = decaps(&sk, &ct, &mut backend);
+                        (pk, ct, ss_enc, ss_dec)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (i, (e, g)) in expected.iter().zip(got.iter()).enumerate() {
+            assert_eq!(e.0, g.0, "pk {i}");
+            assert_eq!(e.1, g.1, "ct {i}");
+            assert_eq!(e.2, g.2, "ss_enc {i}");
+            assert_eq!(e.3, g.3, "ss_dec {i}");
+        }
     }
 
     #[test]

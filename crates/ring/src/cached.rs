@@ -153,6 +153,21 @@ impl CachedSchoolbookMultiplier {
         }
     }
 
+    /// Creates `n` independent multipliers, one per worker thread.
+    ///
+    /// Each shard owns its own multiple cache, accumulator and
+    /// decomposition scratch, so a pool of shards serves concurrent
+    /// multiplications with no locking and no sharing — the software
+    /// analogue of replicating the paper's datapath once per compute
+    /// unit (the design-space knob of §4.2). The multiplier is `Send`
+    /// (enforced at compile time below), so shards can move into
+    /// `std::thread` workers; the `saber-service` crate pins exactly one
+    /// shard per worker.
+    #[must_use]
+    pub fn shard_pool(n: usize) -> Vec<Self> {
+        (0..n).map(|_| Self::new()).collect()
+    }
+
     /// Multiplies `public` by a secret that has already been decomposed
     /// into `buckets` — the amortizable core of the batch path.
     pub fn multiply_decomposed(&mut self, public: &PolyQ, buckets: &SecretBuckets) -> PolyQ {
@@ -228,6 +243,14 @@ impl PolyMultiplier for CachedSchoolbookMultiplier {
         "cached-schoolbook HS-I mirror (software)"
     }
 }
+
+// Compile-time proof that multiplier state can move across threads:
+// the service layer hands one shard to each worker and never shares one.
+const _: () = {
+    const fn assert_send<T: Send + 'static>() {}
+    assert_send::<CachedSchoolbookMultiplier>();
+    assert_send::<SecretBuckets>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -308,6 +331,32 @@ mod tests {
         let sparse = SecretPoly::from_fn(|k| i8::from(k == 3));
         let a = poly(12);
         assert_eq!(cached.multiply(&a, &sparse), schoolbook::mul_asym(&a, &sparse));
+    }
+
+    #[test]
+    fn shards_agree_across_threads() {
+        // Each shard is an independent multiplier: running the same
+        // products on four threads gives the same answers as one shard
+        // sequentially (no shared state to race on).
+        let a = poly(321);
+        let secrets: Vec<SecretPoly> = (0..4).map(|k| secret(k as i8)).collect();
+        let expected: Vec<PolyQ> = secrets
+            .iter()
+            .map(|s| schoolbook::mul_asym(&a, s))
+            .collect();
+        let shards = CachedSchoolbookMultiplier::shard_pool(4);
+        let got: Vec<PolyQ> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .zip(secrets.iter())
+                .map(|(mut shard, s)| {
+                    let a = &a;
+                    scope.spawn(move || shard.multiply(a, s))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(got, expected);
     }
 
     #[test]

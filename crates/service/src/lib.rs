@@ -1,0 +1,52 @@
+//! Concurrent KEM service layer: the multi-core execution tier of the
+//! Saber multiplier reproduction.
+//!
+//! The paper's high-speed designs win by keeping many MAC lanes busy on
+//! one shared operand stream; the batched
+//! [`CachedSchoolbookMultiplier`](saber_ring::CachedSchoolbookMultiplier)
+//! engine (PR 1) is that idea in software, but on one thread. This
+//! crate scales the same verified datapath across cores the way the
+//! ASIC design-space work replicates compute units: a fixed pool of
+//! worker threads, each owning its **own multiplier shard** (no lock,
+//! no sharing on the hot path), fed by a **bounded MPMC queue** whose
+//! backpressure policy is reject-with-error — a saturated service
+//! degrades into explicit [`SubmitError::QueueFull`] responses, never
+//! into unbounded buffering or blocked submitters.
+//!
+//! Everything is `std`-only (`std::thread` + `std::sync`) and fully
+//! offline, like the rest of the workspace.
+//!
+//! * [`queue`] — the bounded queue (backpressure + draining close);
+//! * [`service`] — the [`KemService`] pool: typed job handles, panic
+//!   containment, graceful shutdown;
+//! * [`metrics`] — atomic counters, fixed-bucket latency histograms,
+//!   and the [`ServiceReport`] JSON snapshot;
+//! * [`loadgen`] — the deterministic seeded load generator whose
+//!   transcripts prove N-worker execution ≡ sequential execution.
+//!
+//! # Examples
+//!
+//! ```
+//! use saber_kem::params::SABER;
+//! use saber_service::{KemService, ServiceConfig};
+//!
+//! let service = KemService::spawn(&ServiceConfig { workers: 2, queue_capacity: 8 });
+//! let (pk, _sk) = service.submit_keygen(&SABER, [1; 32]).unwrap().wait().unwrap();
+//! let (_ct, ss) = service.submit_encaps(pk, [2; 32]).unwrap().wait().unwrap();
+//! let report = service.shutdown();
+//! assert_eq!(report.completed, 2);
+//! assert_eq!(report.rejected, 0);
+//! println!("{}", report.to_json_string());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod metrics;
+pub mod queue;
+pub mod service;
+
+pub use loadgen::{build_plan, run_sequential, run_service, LoadPlan, LoadProfile, OpMix, Transcript};
+pub use metrics::{OpKind, ServiceReport};
+pub use service::{Gate, JobError, JobHandle, KemService, ServiceConfig, SubmitError};

@@ -1,0 +1,453 @@
+//! Lock-free service instrumentation: atomic counters, fixed-bucket
+//! latency histograms, and the [`ServiceReport`] JSON snapshot.
+//!
+//! The recording side is wait-free (`fetch_add` / `fetch_max` with
+//! relaxed ordering — the numbers are monotone gauges, not
+//! synchronization), so instrumentation never perturbs the hot path it
+//! measures. Snapshots are taken by reading every atomic once; a
+//! snapshot racing live traffic is *torn but monotone*: each individual
+//! counter is exact at its read instant, and re-snapshotting never
+//! decreases any of them (`metrics_report.rs` tests this).
+//!
+//! Histogram buckets are fixed powers of two of a microsecond
+//! ([`BUCKET_BOUNDS_NS`]): latency in a KEM service spans keygen at
+//! tens of microseconds to queue-saturated multi-millisecond waits, so
+//! geometric buckets hold the whole range in 16 slots with constant
+//! relative resolution — the same reasoning as the paper's
+//! power-of-two moduli: cheap boundaries, no division on the record
+//! path (bucket index is a leading-zeros computation).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use saber_testkit::json::Value;
+
+/// Number of latency buckets (15 geometric + 1 overflow).
+pub const BUCKET_COUNT: usize = 16;
+
+/// Exclusive upper bounds of the latency buckets, in nanoseconds:
+/// bucket `i < 15` holds samples `< 1µs · 2^i`; the last bucket holds
+/// everything slower.
+pub const BUCKET_BOUNDS_NS: [u64; BUCKET_COUNT] = {
+    let mut bounds = [u64::MAX; BUCKET_COUNT];
+    let mut i = 0;
+    while i < BUCKET_COUNT - 1 {
+        bounds[i] = 1_000u64 << i;
+        i += 1;
+    }
+    bounds
+};
+
+/// The bucket a latency sample falls into.
+#[must_use]
+pub fn bucket_index(ns: u64) -> usize {
+    // Samples below 1µs land in bucket 0; otherwise the bucket is the
+    // position of the highest set bit above the 1µs base, capped at the
+    // overflow bucket. Equivalent to a linear scan of BUCKET_BOUNDS_NS.
+    let mut i = 0;
+    while i < BUCKET_COUNT - 1 && ns >= BUCKET_BOUNDS_NS[i] {
+        i += 1;
+    }
+    i
+}
+
+/// The four operations the service serves and meters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// KEM key generation.
+    Keygen,
+    /// KEM encapsulation.
+    Encaps,
+    /// KEM decapsulation.
+    Decaps,
+    /// Raw matrix–vector product `A·s`.
+    MatVec,
+}
+
+impl OpKind {
+    /// Every operation, in report order.
+    pub const ALL: [OpKind; 4] = [OpKind::Keygen, OpKind::Encaps, OpKind::Decaps, OpKind::MatVec];
+
+    /// Stable label used in JSON reports and test assertions.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Keygen => "keygen",
+            OpKind::Encaps => "encaps",
+            OpKind::Decaps => "decaps",
+            OpKind::MatVec => "matvec",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<OpKind> {
+        OpKind::ALL.into_iter().find(|op| op.label() == label)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpKind::Keygen => 0,
+            OpKind::Encaps => 1,
+            OpKind::Decaps => 2,
+            OpKind::MatVec => 3,
+        }
+    }
+}
+
+/// One operation's live latency histogram (atomic recording side).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Reads the current state into a plain snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKET_COUNT];
+        for (out, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            counts,
+            count: self.count.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain (non-atomic) histogram snapshot, as serialized into
+/// [`ServiceReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (bounds in [`BUCKET_BOUNDS_NS`]).
+    pub counts: [u64; BUCKET_COUNT],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded latencies, nanoseconds.
+    pub total_ns: u64,
+    /// Largest recorded latency, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// The service's full live-metrics registry. One instance per pool,
+/// shared by reference with every worker and submitter.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    worker_panics: AtomicU64,
+    queue_high_water: AtomicU64,
+    ops: [LatencyHistogram; 4],
+}
+
+impl Metrics {
+    /// A job was admitted to the queue; `depth` is the queue depth
+    /// including it (feeds the high-water gauge).
+    pub fn record_submitted(&self, depth: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.queue_high_water.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// A submission was rejected by backpressure.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job completed successfully; `latency_ns` is enqueue→completion.
+    pub fn record_completed(&self, op: OpKind, latency_ns: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.ops[op.index()].record(latency_ns);
+    }
+
+    /// An instrumentation job (no [`OpKind`]) completed: bumps the
+    /// completed counter without touching any latency histogram.
+    pub fn record_completed_untyped(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job failed (its worker panicked while executing it).
+    pub fn record_failed_panic(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current completed-jobs count (cheap progress gauge).
+    #[must_use]
+    pub fn completed_count(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots every counter and histogram into a [`ServiceReport`].
+    #[must_use]
+    pub fn snapshot(&self, workers: usize, queue_capacity: usize, queue_depth: usize) -> ServiceReport {
+        ServiceReport {
+            workers: workers as u64,
+            queue_capacity: queue_capacity as u64,
+            queue_depth: queue_depth as u64,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            ops: OpKind::ALL
+                .into_iter()
+                .map(|op| (op, self.ops[op.index()].snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time view of the service's counters and latency
+/// histograms — the JSON artifact the service exposes (README shows a
+/// sample).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceReport {
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Configured queue capacity.
+    pub queue_capacity: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Jobs admitted to the queue.
+    pub submitted: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Submissions rejected by backpressure.
+    pub rejected: u64,
+    /// Jobs that failed (worker panic while executing).
+    pub failed: u64,
+    /// Worker panics contained by the pool.
+    pub worker_panics: u64,
+    /// Highest queue depth observed at submit time.
+    pub queue_high_water: u64,
+    /// Per-operation latency histograms, in [`OpKind::ALL`] order.
+    pub ops: Vec<(OpKind, HistogramSnapshot)>,
+}
+
+impl ServiceReport {
+    /// The snapshot for one operation, if recorded.
+    #[must_use]
+    pub fn op(&self, op: OpKind) -> Option<&HistogramSnapshot> {
+        self.ops.iter().find(|(k, _)| *k == op).map(|(_, h)| h)
+    }
+
+    /// Serializes into the in-tree JSON document model.
+    #[must_use]
+    pub fn to_json_value(&self) -> Value {
+        let int = |v: u64| Value::Int(v as i64);
+        let ops = self
+            .ops
+            .iter()
+            .map(|(op, h)| {
+                Value::Object(vec![
+                    ("op".into(), Value::Str(op.label().into())),
+                    ("count".into(), int(h.count)),
+                    ("total_ns".into(), int(h.total_ns)),
+                    ("max_ns".into(), int(h.max_ns)),
+                    ("mean_ns".into(), int(h.mean_ns())),
+                    (
+                        "buckets".into(),
+                        Value::Array(h.counts.iter().map(|&c| int(c)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("report".into(), Value::Str("saber-service".into())),
+            ("workers".into(), int(self.workers)),
+            ("queue_capacity".into(), int(self.queue_capacity)),
+            ("queue_depth".into(), int(self.queue_depth)),
+            ("submitted".into(), int(self.submitted)),
+            ("completed".into(), int(self.completed)),
+            ("rejected".into(), int(self.rejected)),
+            ("failed".into(), int(self.failed)),
+            ("worker_panics".into(), int(self.worker_panics)),
+            ("queue_high_water".into(), int(self.queue_high_water)),
+            (
+                "bucket_bounds_ns".into(),
+                Value::Array(BUCKET_BOUNDS_NS.iter().map(|&b| int(b.min(i64::MAX as u64))).collect()),
+            ),
+            ("ops".into(), Value::Array(ops)),
+        ])
+    }
+
+    /// Serializes as a pretty-printed JSON string.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        saber_testkit::json::write(&self.to_json_value())
+    }
+
+    /// Reconstructs a report from its JSON document form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing or mistyped field.
+    pub fn from_json_value(value: &Value) -> Result<ServiceReport, String> {
+        if value.str_field("report")? != "saber-service" {
+            return Err("not a saber-service report".into());
+        }
+        let int = |key: &str| -> Result<u64, String> {
+            let v = value.int_field(key)?;
+            u64::try_from(v).map_err(|_| format!("field {key:?} is negative"))
+        };
+        let mut ops = Vec::new();
+        for entry in value
+            .get("ops")
+            .and_then(Value::as_array)
+            .ok_or("missing ops array")?
+        {
+            let op = OpKind::from_label(entry.str_field("op")?)
+                .ok_or_else(|| format!("unknown op label {:?}", entry.str_field("op")))?;
+            let buckets = entry
+                .get("buckets")
+                .and_then(Value::as_array)
+                .ok_or("missing buckets array")?;
+            if buckets.len() != BUCKET_COUNT {
+                return Err(format!("expected {BUCKET_COUNT} buckets, got {}", buckets.len()));
+            }
+            let mut counts = [0u64; BUCKET_COUNT];
+            for (out, b) in counts.iter_mut().zip(buckets) {
+                *out = b
+                    .as_int()
+                    .and_then(|v| u64::try_from(v).ok())
+                    .ok_or("bucket count must be a non-negative integer")?;
+            }
+            let field = |key: &str| -> Result<u64, String> {
+                let v = entry.int_field(key)?;
+                u64::try_from(v).map_err(|_| format!("field {key:?} is negative"))
+            };
+            ops.push((
+                op,
+                HistogramSnapshot {
+                    counts,
+                    count: field("count")?,
+                    total_ns: field("total_ns")?,
+                    max_ns: field("max_ns")?,
+                },
+            ));
+        }
+        Ok(ServiceReport {
+            workers: int("workers")?,
+            queue_capacity: int("queue_capacity")?,
+            queue_depth: int("queue_depth")?,
+            submitted: int("submitted")?,
+            completed: int("completed")?,
+            rejected: int("rejected")?,
+            failed: int("failed")?,
+            worker_panics: int("worker_panics")?,
+            queue_high_water: int("queue_high_water")?,
+            ops,
+        })
+    }
+
+    /// Parses a report from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the parse or schema failure.
+    pub fn from_json_str(text: &str) -> Result<ServiceReport, String> {
+        let value = saber_testkit::json::parse(text).map_err(|e| e.to_string())?;
+        ServiceReport::from_json_value(&value)
+    }
+
+    /// A compact one-line text summary (for logs and bench output).
+    #[must_use]
+    pub fn format_summary(&self) -> String {
+        let mut line = format!(
+            "workers={} capacity={} submitted={} completed={} rejected={} failed={} high_water={}",
+            self.workers,
+            self.queue_capacity,
+            self.submitted,
+            self.completed,
+            self.rejected,
+            self.failed,
+            self.queue_high_water,
+        );
+        for (op, h) in &self.ops {
+            if h.count > 0 {
+                line.push_str(&format!(
+                    " {}[n={} mean={}ns max={}ns]",
+                    op.label(),
+                    h.count,
+                    h.mean_ns(),
+                    h.max_ns
+                ));
+            }
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_geometric_then_overflow() {
+        for (i, &bound) in BUCKET_BOUNDS_NS.iter().take(BUCKET_COUNT - 1).enumerate() {
+            assert_eq!(bound, 1_000u64 << i, "bucket {i}");
+        }
+        assert_eq!(BUCKET_BOUNDS_NS[BUCKET_COUNT - 1], u64::MAX);
+    }
+
+    #[test]
+    fn bucket_index_boundaries_are_exclusive_upper() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(999), 0);
+        assert_eq!(bucket_index(1_000), 1, "exactly 1µs rolls into bucket 1");
+        assert_eq!(bucket_index(1_999), 1);
+        assert_eq!(bucket_index(2_000), 2);
+        // Deep bucket: 1µs·2^14 = 16.384ms is the last finite bound.
+        assert_eq!(bucket_index(16_384_000 - 1), 14);
+        assert_eq!(bucket_index(16_384_000), 15);
+        assert_eq!(bucket_index(u64::MAX - 1), 15);
+    }
+
+    #[test]
+    fn histogram_accumulates_and_snapshots() {
+        let h = LatencyHistogram::default();
+        for ns in [500, 1_500, 1_500, 20_000_000] {
+            h.record(ns);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[1], 2);
+        assert_eq!(s.counts[BUCKET_COUNT - 1], 1);
+        assert_eq!(s.total_ns, 20_003_500);
+        assert_eq!(s.max_ns, 20_000_000);
+        assert_eq!(s.mean_ns(), 20_003_500 / 4);
+    }
+
+    #[test]
+    fn op_labels_roundtrip() {
+        for op in OpKind::ALL {
+            assert_eq!(OpKind::from_label(op.label()), Some(op));
+        }
+        assert_eq!(OpKind::from_label("nonsense"), None);
+    }
+}

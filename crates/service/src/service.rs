@@ -1,0 +1,569 @@
+//! The worker pool: sharded multiplier caches, typed job handles,
+//! panic containment, and graceful draining shutdown.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  submitters ──try_push──▶ BoundedQueue ──pop──▶ worker 0 ─┐ owns shard 0
+//!      │ (reject when full)     │                worker 1 ─┤ owns shard 1   ─▶ JobHandle
+//!      ▼                        ▼                   …      │ (CachedSchoolbook-   .wait()
+//!   SubmitError::QueueFull   metrics              worker N ─┘  Multiplier each)
+//! ```
+//!
+//! Each worker owns one [`CachedSchoolbookMultiplier`] shard — the
+//! software analogue of the paper replicating a verified datapath per
+//! compute unit. The shard is worker-local, so the hot path (multiple
+//! caching, bucket scans, Keccak) runs with **no lock held and no
+//! sharing**; the only synchronized structures are the O(1) queue
+//! operations and the one-shot result slots.
+//!
+//! ## Failure containment
+//!
+//! A panic while executing a job is caught at the worker loop
+//! (`std::panic::catch_unwind`): the job's handle resolves to
+//! [`JobError::WorkerPanicked`], the worker discards its multiplier
+//! shard (its scratch state is suspect mid-panic) and builds a fresh
+//! one, then keeps serving. One poisoned job never takes out the pool.
+//!
+//! ## Shutdown protocol
+//!
+//! [`KemService::shutdown`] closes the queue — new submissions fail
+//! with [`SubmitError::ShutDown`] — then joins every worker. Closing
+//! does not discard admitted jobs: workers drain the queue to empty
+//! before exiting, so every accepted `JobHandle` resolves.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use saber_kem::params::SaberParams;
+use saber_kem::{Ciphertext, KemSecretKey, PublicKey, SharedSecret};
+use saber_ring::{CachedSchoolbookMultiplier, PolyMatrix, PolyVec, SecretVec};
+
+use crate::metrics::{Metrics, OpKind, ServiceReport};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Pool sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads (= multiplier shards). Must be ≥ 1.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    /// Four workers over a 64-deep queue: a deliberately fixed default
+    /// (not `available_parallelism`) so behaviour is identical on every
+    /// host; size explicitly for production use.
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config with `workers` threads and the default queue depth.
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a submission was refused (the job was **not** admitted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Backpressure: the queue is at capacity. Retry later, shed load,
+    /// or widen the queue — the service never buffers unboundedly.
+    QueueFull {
+        /// The configured capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The service is shutting down; no new work is admitted.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "job queue full (capacity {capacity}): backpressure")
+            }
+            SubmitError::ShutDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an *admitted* job failed to produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The worker panicked while executing this job. The pool survives;
+    /// only this job is lost.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::WorkerPanicked { message } => {
+                write!(f, "worker panicked while executing job: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A worker-holding gate for deterministic scheduler tests: a job
+/// carrying a gate occupies its worker until [`Gate::release`].
+///
+/// This is test instrumentation in the same spirit as
+/// `saber_core::fault` — a controlled way to drive the scheduler into
+/// its edge states (full queue, shutdown with in-flight work) without
+/// sleeping or racing.
+#[derive(Debug, Default)]
+pub struct Gate {
+    released: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    /// A new, closed gate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens the gate, releasing any worker waiting on it (idempotent).
+    pub fn release(&self) {
+        *self.released.lock().expect("gate lock") = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_released(&self) {
+        let mut released = self.released.lock().expect("gate lock");
+        while !*released {
+            released = self.cv.wait(released).expect("gate lock");
+        }
+    }
+}
+
+/// What a worker is asked to do. KEM inputs are owned (boxed where
+/// large); mat-vec operands are `Arc`-shared so a burst of products
+/// against one matrix clones pointers, not polynomials.
+enum Request {
+    Keygen {
+        params: &'static SaberParams,
+        seed: [u8; 32],
+    },
+    Encaps {
+        pk: Box<PublicKey>,
+        entropy: [u8; 32],
+    },
+    Decaps {
+        sk: Box<KemSecretKey>,
+        ct: Box<Ciphertext>,
+    },
+    MatVec {
+        matrix: Arc<PolyMatrix>,
+        secret: Arc<SecretVec>,
+    },
+    /// Fault injection: panics inside the worker (test instrumentation).
+    Panic { message: String },
+    /// Holds the worker until the gate opens (test instrumentation).
+    Hold { gate: Arc<Gate> },
+}
+
+/// What a worker produced.
+enum Response {
+    Keygen(Box<(PublicKey, KemSecretKey)>),
+    Encaps(Box<(Ciphertext, SharedSecret)>),
+    Decaps(SharedSecret),
+    MatVec(PolyVec<13>),
+    Unit,
+}
+
+/// One-shot result cell shared between a worker and a [`JobHandle`].
+#[derive(Default)]
+struct Slot {
+    cell: Mutex<Option<Result<Response, JobError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, result: Result<Response, JobError>) {
+        let mut cell = self.cell.lock().expect("slot lock");
+        debug_assert!(cell.is_none(), "a job resolves exactly once");
+        *cell = Some(result);
+        drop(cell);
+        self.ready.notify_all();
+    }
+}
+
+/// The caller's side of an admitted job: blocks until the worker pool
+/// resolves it. Every admitted job resolves, including across
+/// [`KemService::shutdown`] (the queue drains before workers exit).
+pub struct JobHandle<T> {
+    slot: Arc<Slot>,
+    extract: fn(Response) -> T,
+}
+
+impl<T> JobHandle<T> {
+    /// Blocks until the job resolves.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::WorkerPanicked`] if the worker panicked executing
+    /// this job (the pool itself keeps serving).
+    pub fn wait(self) -> Result<T, JobError> {
+        let mut cell = self.slot.cell.lock().expect("slot lock");
+        loop {
+            if let Some(result) = cell.take() {
+                return result.map(self.extract);
+            }
+            cell = self.slot.ready.wait(cell).expect("slot lock");
+        }
+    }
+
+    /// Whether the job has already resolved (non-blocking).
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        self.slot.cell.lock().expect("slot lock").is_some()
+    }
+}
+
+struct Job {
+    request: Request,
+    op: Option<OpKind>,
+    slot: Arc<Slot>,
+    enqueued: Instant,
+}
+
+struct Inner {
+    queue: BoundedQueue<Job>,
+    metrics: Metrics,
+    workers: usize,
+}
+
+/// The concurrent KEM service: a fixed pool of workers, each owning a
+/// [`CachedSchoolbookMultiplier`] shard, fed by a bounded backpressured
+/// queue (see the module docs for the architecture).
+///
+/// # Examples
+///
+/// ```
+/// use saber_kem::params::SABER;
+/// use saber_service::{KemService, ServiceConfig};
+///
+/// let service = KemService::spawn(&ServiceConfig { workers: 2, queue_capacity: 16 });
+/// let keys = service.submit_keygen(&SABER, [7; 32]).unwrap();
+/// let (pk, sk) = keys.wait().unwrap();
+/// let (ct, ss_enc) = service.submit_encaps(pk, [8; 32]).unwrap().wait().unwrap();
+/// let ss_dec = service.submit_decaps(sk, ct).unwrap().wait().unwrap();
+/// assert_eq!(ss_enc, ss_dec);
+/// let report = service.shutdown();
+/// assert_eq!(report.completed, 3);
+/// ```
+pub struct KemService {
+    inner: Arc<Inner>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl KemService {
+    /// Starts the pool: `config.workers` threads, each with its own
+    /// multiplier shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is zero (a pool that can never make
+    /// progress) or `config.queue_capacity` is zero.
+    #[must_use]
+    pub fn spawn(config: &ServiceConfig) -> Self {
+        assert!(config.workers > 0, "service needs at least one worker");
+        let inner = Arc::new(Inner {
+            queue: BoundedQueue::new(config.queue_capacity),
+            metrics: Metrics::default(),
+            workers: config.workers,
+        });
+        let handles = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("saber-service-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self { inner, handles }
+    }
+
+    /// Worker count the pool was sized with.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Configured queue capacity.
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.inner.queue.capacity()
+    }
+
+    /// Submits a KEM key generation from a 32-byte master seed.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the queue is full or the service is
+    /// shutting down; the job was not admitted.
+    pub fn submit_keygen(
+        &self,
+        params: &'static SaberParams,
+        seed: [u8; 32],
+    ) -> Result<JobHandle<(PublicKey, KemSecretKey)>, SubmitError> {
+        self.submit(Some(OpKind::Keygen), Request::Keygen { params, seed }, |r| {
+            match r {
+                Response::Keygen(out) => *out,
+                _ => unreachable!("keygen job resolves to a keygen response"),
+            }
+        })
+    }
+
+    /// Submits an encapsulation against `pk`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the queue is full or the service is
+    /// shutting down; the job was not admitted.
+    pub fn submit_encaps(
+        &self,
+        pk: PublicKey,
+        entropy: [u8; 32],
+    ) -> Result<JobHandle<(Ciphertext, SharedSecret)>, SubmitError> {
+        self.submit(
+            Some(OpKind::Encaps),
+            Request::Encaps {
+                pk: Box::new(pk),
+                entropy,
+            },
+            |r| match r {
+                Response::Encaps(out) => *out,
+                _ => unreachable!("encaps job resolves to an encaps response"),
+            },
+        )
+    }
+
+    /// Submits a decapsulation of `ct` under `sk`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the queue is full or the service is
+    /// shutting down; the job was not admitted.
+    pub fn submit_decaps(
+        &self,
+        sk: KemSecretKey,
+        ct: Ciphertext,
+    ) -> Result<JobHandle<SharedSecret>, SubmitError> {
+        self.submit(
+            Some(OpKind::Decaps),
+            Request::Decaps {
+                sk: Box::new(sk),
+                ct: Box::new(ct),
+            },
+            |r| match r {
+                Response::Decaps(ss) => ss,
+                _ => unreachable!("decaps job resolves to a decaps response"),
+            },
+        )
+    }
+
+    /// Submits a matrix–vector product `A·s` (operands `Arc`-shared so
+    /// batches against one matrix clone pointers, not polynomials).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the queue is full or the service is
+    /// shutting down; the job was not admitted.
+    pub fn submit_matvec(
+        &self,
+        matrix: Arc<PolyMatrix>,
+        secret: Arc<SecretVec>,
+    ) -> Result<JobHandle<PolyVec<13>>, SubmitError> {
+        self.submit(
+            Some(OpKind::MatVec),
+            Request::MatVec { matrix, secret },
+            |r| match r {
+                Response::MatVec(v) => v,
+                _ => unreachable!("matvec job resolves to a matvec response"),
+            },
+        )
+    }
+
+    /// Fault injection: submits a job that panics inside its worker.
+    ///
+    /// Test instrumentation (the service-layer analogue of
+    /// `saber_core::fault`): proves one poisoned job fails alone while
+    /// the pool keeps serving.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the queue is full or the service is
+    /// shutting down; the job was not admitted.
+    pub fn submit_fault_panic(&self, message: &str) -> Result<JobHandle<()>, SubmitError> {
+        self.submit(
+            None,
+            Request::Panic {
+                message: message.to_string(),
+            },
+            |_| (),
+        )
+    }
+
+    /// Test instrumentation: submits a job that occupies a worker until
+    /// `gate` is released — the deterministic way to fill the queue or
+    /// shut down with work in flight.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the queue is full or the service is
+    /// shutting down; the job was not admitted.
+    pub fn submit_hold(&self, gate: Arc<Gate>) -> Result<JobHandle<()>, SubmitError> {
+        self.submit(None, Request::Hold { gate }, |_| ())
+    }
+
+    fn submit<T>(
+        &self,
+        op: Option<OpKind>,
+        request: Request,
+        extract: fn(Response) -> T,
+    ) -> Result<JobHandle<T>, SubmitError> {
+        let slot = Arc::new(Slot::default());
+        let job = Job {
+            request,
+            op,
+            slot: Arc::clone(&slot),
+            enqueued: Instant::now(),
+        };
+        match self.inner.queue.try_push(job) {
+            Ok(depth) => {
+                self.inner.metrics.record_submitted(depth);
+                Ok(JobHandle { slot, extract })
+            }
+            Err(PushError::Full(_)) => {
+                self.inner.metrics.record_rejected();
+                Err(SubmitError::QueueFull {
+                    capacity: self.inner.queue.capacity(),
+                })
+            }
+            Err(PushError::Closed(_)) => Err(SubmitError::ShutDown),
+        }
+    }
+
+    /// A live metrics snapshot (the service keeps running).
+    #[must_use]
+    pub fn report(&self) -> ServiceReport {
+        self.inner.metrics.snapshot(
+            self.inner.workers,
+            self.inner.queue.capacity(),
+            self.inner.queue.len(),
+        )
+    }
+
+    /// Graceful shutdown: stops admitting work, drains every admitted
+    /// job, joins all workers, and returns the final metrics report.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServiceReport {
+        self.inner.queue.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.inner.metrics.snapshot(
+            self.inner.workers,
+            self.inner.queue.capacity(),
+            self.inner.queue.len(),
+        )
+    }
+}
+
+impl Drop for KemService {
+    /// Dropping without [`shutdown`](Self::shutdown) still drains and
+    /// joins, so admitted handles resolve and no thread leaks.
+    fn drop(&mut self) {
+        self.inner.queue.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn run_request(shard: &mut CachedSchoolbookMultiplier, request: Request) -> Response {
+    match request {
+        Request::Keygen { params, seed } => {
+            let (pk, sk) = saber_kem::keygen(params, &seed, shard);
+            Response::Keygen(Box::new((pk, sk)))
+        }
+        Request::Encaps { pk, entropy } => {
+            let (ct, ss) = saber_kem::encaps(&pk, &entropy, shard);
+            Response::Encaps(Box::new((ct, ss)))
+        }
+        Request::Decaps { sk, ct } => Response::Decaps(saber_kem::decaps(&sk, &ct, shard)),
+        Request::MatVec { matrix, secret } => Response::MatVec(matrix.mul_vec(&secret, shard)),
+        Request::Panic { message } => panic!("{message}"),
+        Request::Hold { gate } => {
+            gate.wait_released();
+            Response::Unit
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut shard = CachedSchoolbookMultiplier::new();
+    while let Some(job) = inner.queue.pop() {
+        let Job {
+            request,
+            op,
+            slot,
+            enqueued,
+        } = job;
+        match catch_unwind(AssertUnwindSafe(|| run_request(&mut shard, request))) {
+            Ok(response) => {
+                let latency_ns =
+                    u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                match op {
+                    Some(op) => inner.metrics.record_completed(op, latency_ns),
+                    None => inner.metrics.record_completed_untyped(),
+                }
+                slot.fill(Ok(response));
+            }
+            Err(payload) => {
+                // The shard's scratch state is suspect after an unwind
+                // mid-multiplication: rebuild it, fail only this job.
+                shard = CachedSchoolbookMultiplier::new();
+                inner.metrics.record_failed_panic();
+                slot.fill(Err(JobError::WorkerPanicked {
+                    message: panic_message(payload),
+                }));
+            }
+        }
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod hex;
+pub mod json;
 
 /// A SplitMix64 pseudo-random generator.
 ///

@@ -29,6 +29,20 @@ SABER_FUZZ_CASES=2048 cargo test -q --release -p saber-verify --test differentia
 echo "==> fault-injection sensitivity gate (release)"
 cargo test -q --release -p saber-verify --test fault_sensitivity
 
+# Concurrency stress: the service's N-worker ≡ sequential equivalence
+# battery across the worker-count matrix, then a bounded deterministic
+# soak (10k mixed KEM ops through a 4-worker pool, spot-checked against
+# the schoolbook oracle). Release mode: debug already ran small versions
+# of both under `cargo test -q` above.
+echo "==> service stress: worker matrix 1/2/8 (release)"
+for w in 1 2 8; do
+    echo "    SABER_SERVICE_WORKERS=$w"
+    SABER_SERVICE_WORKERS=$w cargo test -q --release -p saber-service --test concurrency_equivalence
+done
+
+echo "==> service soak: SABER_SOAK_OPS=10000 (release)"
+SABER_SOAK_OPS=10000 cargo test -q --release -p saber-service --test soak
+
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
