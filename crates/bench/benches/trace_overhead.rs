@@ -1,0 +1,67 @@
+//! **Tracing overhead gate** — proves the disabled tracing path costs
+//! ~nothing on the hot paths it instruments.
+//!
+//! The tracing layer's contract is that a probe with no session active
+//! is one relaxed atomic load (plus a branch). This bench measures:
+//!
+//! * the per-probe cost of a disabled `saber_trace::span` call — the
+//!   number the CI gate thresholds (`SABER_TRACE_MAX_DISABLED_NS`,
+//!   default 25 ns, a deliberately loose bound: the measured cost is
+//!   sub-nanosecond on any host where the load constant-folds);
+//! * the per-span cost with a session live, for scale;
+//! * the batched mat-vec hot path (`PolyMatrix::mul_vec` over the
+//!   HS-I-mirror backend), whose instrumentation adds a handful of
+//!   counter probes per product — the measured probe share of the
+//!   operation is printed so a regression is visible as a ratio, not
+//!   just an absolute.
+//!
+//! Exits nonzero when the disabled-probe cost breaches the threshold,
+//! so `tools/ci.sh` can run it as a hard gate.
+
+use std::time::Instant;
+
+use saber_bench::microbench::{black_box, disabled_probe_ns, enabled_span_ns};
+use saber_kem::expand::{gen_matrix, gen_secret};
+use saber_kem::params::SABER;
+use saber_ring::CachedSchoolbookMultiplier;
+
+fn main() {
+    let max_disabled_ns: f64 = std::env::var("SABER_TRACE_MAX_DISABLED_NS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+
+    println!("\n=== Tracing overhead (disabled-path gate) ===\n");
+
+    let disabled = disabled_probe_ns();
+    let enabled = enabled_span_ns();
+    println!("disabled probe: {disabled:.3} ns");
+    println!("enabled span:   {enabled:.1} ns");
+
+    // The instrumented batched mat-vec hot path, tracing disabled (the
+    // production configuration). rank² dedup probes + rank decompose
+    // probes fire per product — all down the disabled fast path.
+    let matrix = gen_matrix(&[0x33; 32], &SABER);
+    let secret = gen_secret(&[0x44; 32], &SABER);
+    let mut backend = CachedSchoolbookMultiplier::new();
+    let _ = black_box(matrix.mul_vec(&secret, &mut backend));
+    let reps = 50u32;
+    let start = Instant::now();
+    for _ in 0..reps {
+        let _ = black_box(matrix.mul_vec(&secret, &mut backend));
+    }
+    let matvec_ns = start.elapsed().as_nanos() as f64 / f64::from(reps);
+    let probes = (SABER.rank * SABER.rank + SABER.rank) as f64;
+    let share = 100.0 * probes * disabled / matvec_ns;
+    println!("batched mat-vec ({}): {matvec_ns:.0} ns/op", SABER.name);
+    println!("probe share of mat-vec: {share:.4} % ({probes:.0} probes/op)");
+
+    if disabled > max_disabled_ns {
+        eprintln!(
+            "FAIL: disabled probe costs {disabled:.3} ns > {max_disabled_ns:.1} ns \
+             (SABER_TRACE_MAX_DISABLED_NS)"
+        );
+        std::process::exit(1);
+    }
+    println!("\ndisabled-path gate: OK ({disabled:.3} ns <= {max_disabled_ns:.1} ns)");
+}

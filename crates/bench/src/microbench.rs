@@ -177,6 +177,51 @@ impl Criterion {
     }
 }
 
+/// Mean cost in nanoseconds of one *disabled* tracing probe — a
+/// `saber_trace::span` call with no session active, the state every
+/// instrumented hot path runs in outside profiling. This is the number
+/// the CI overhead gate thresholds.
+///
+/// # Panics
+///
+/// Panics if a trace session is active (the measurement would then time
+/// the enabled path).
+#[must_use]
+pub fn disabled_probe_ns() -> f64 {
+    assert!(
+        !saber_trace::enabled(),
+        "disabled-probe measurement requires no active trace session"
+    );
+    let iters: u64 = 4_000_000;
+    for _ in 0..10_000 {
+        let _ = black_box(saber_trace::span("bench", "probe"));
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        let _ = black_box(saber_trace::span("bench", "probe"));
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Mean cost in nanoseconds of one recorded span while a session is
+/// live (the price of *profiling*, not of shipping instrumented code).
+#[must_use]
+pub fn enabled_span_ns() -> f64 {
+    let session = saber_trace::start();
+    let iters: u64 = 200_000;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let _ = black_box(saber_trace::span("bench", "probe"));
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    let trace = session.finish();
+    assert!(
+        trace.len() >= iters as usize,
+        "every enabled span must be recorded"
+    );
+    ns
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

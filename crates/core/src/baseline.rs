@@ -34,6 +34,7 @@ pub struct BaselineMultiplier {
     macs: usize,
     name: String,
     last_cycles: CycleReport,
+    last_timeline: Option<saber_trace::CycleTimeline>,
     activity: Activity,
     multiplications: u64,
 }
@@ -51,6 +52,7 @@ impl BaselineMultiplier {
             macs,
             name: format!("[10] {macs}"),
             last_cycles: CycleReport::default(),
+            last_timeline: None,
             activity: Activity::default(),
             multiplications: 0,
         }
@@ -79,12 +81,13 @@ impl BaselineMultiplier {
 
 impl PolyMultiplier for BaselineMultiplier {
     fn multiply(&mut self, public: &PolyQ, secret: &SecretPoly) -> PolyQ {
-        let (product, cycles, mut activity) =
+        let (product, cycles, mut activity, timeline) =
             engine::simulate(public, secret, self.macs, MacStyle::PerMac);
         let area = self.area();
         activity.active_luts = u64::from(area.luts);
         activity.active_ffs = u64::from(area.ffs);
         self.last_cycles = cycles;
+        self.last_timeline = Some(timeline);
         self.activity = self.activity.merge(activity);
         self.multiplications += 1;
         product
@@ -107,6 +110,10 @@ impl HwMultiplier for BaselineMultiplier {
             critical_path: CriticalPath { logic_levels: 6 },
             activity: Some(self.activity),
         }
+    }
+
+    fn timeline(&self) -> Option<&saber_trace::CycleTimeline> {
+        self.last_timeline.as_ref()
     }
 }
 

@@ -37,6 +37,7 @@ pub struct CentralizedMultiplier {
     macs: usize,
     name: String,
     last_cycles: CycleReport,
+    last_timeline: Option<saber_trace::CycleTimeline>,
     activity: Activity,
     multiplications: u64,
 }
@@ -58,6 +59,7 @@ impl CentralizedMultiplier {
             macs,
             name: format!("HS-I {macs}"),
             last_cycles: CycleReport::default(),
+            last_timeline: None,
             activity: Activity::default(),
             multiplications: 0,
         }
@@ -106,12 +108,13 @@ impl CentralizedMultiplier {
 
 impl PolyMultiplier for CentralizedMultiplier {
     fn multiply(&mut self, public: &PolyQ, secret: &SecretPoly) -> PolyQ {
-        let (product, cycles, mut activity) =
+        let (product, cycles, mut activity, timeline) =
             engine::simulate(public, secret, self.macs, MacStyle::Centralized);
         let area = self.area();
         activity.active_luts = u64::from(area.luts);
         activity.active_ffs = u64::from(area.ffs);
         self.last_cycles = cycles;
+        self.last_timeline = Some(timeline);
         self.activity = self.activity.merge(activity);
         self.multiplications += 1;
         product
@@ -133,6 +136,10 @@ impl HwMultiplier for CentralizedMultiplier {
             critical_path: CriticalPath { logic_levels: 5 },
             activity: Some(self.activity),
         }
+    }
+
+    fn timeline(&self) -> Option<&saber_trace::CycleTimeline> {
+        self.last_timeline.as_ref()
     }
 }
 

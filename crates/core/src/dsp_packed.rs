@@ -287,6 +287,7 @@ pub struct DspPackedMultiplier {
     /// cycle.
     inflight: Vec<Vec<InFlight>>,
     last_cycles: CycleReport,
+    last_timeline: Option<saber_trace::CycleTimeline>,
     activity: Activity,
     multiplications: u64,
 }
@@ -324,6 +325,7 @@ impl DspPackedMultiplier {
             banks,
             inflight: (0..DSP_LATENCY).map(|_| Vec::with_capacity(dsps)).collect(),
             last_cycles: CycleReport::default(),
+            last_timeline: None,
             activity: Activity::default(),
             multiplications: 0,
         }
@@ -407,6 +409,13 @@ impl PolyMultiplier for DspPackedMultiplier {
         let mut issued = 0usize; // metadata batches written to the ring
         let mut retired = 0usize; // metadata batches consumed
         let banks = self.banks;
+        let units = (DSP_COUNT * banks) as u64;
+        let mut timeline = saber_trace::CycleTimeline::new(
+            if banks == 1 { "hs2-128" } else { "hs2-256" },
+            units,
+        );
+        timeline.push_phase("secret_load", 17, 0);
+        timeline.push_phase("public_preload", 14, 0);
 
         // The rotating secret buffer is modelled as a logical rotation
         // (offset + negacyclic sign, see `rotated`), so no per-cycle
@@ -416,7 +425,8 @@ impl PolyMultiplier for DspPackedMultiplier {
         // 128/banks issue cycles + DSP_LATENCY drain cycles.
         while cycles < (N / (2 * banks) + DSP_LATENCY) as u64 {
             // Issue phase.
-            if outer < N {
+            let issuing = outer < N;
+            if issuing {
                 let batch = &mut self.inflight[issued % DSP_LATENCY];
                 batch.clear();
                 for bank in 0..banks {
@@ -453,6 +463,13 @@ impl PolyMultiplier for DspPackedMultiplier {
                 dsp.tick();
             }
             cycles += 1;
+            if issuing {
+                // Each DSP accepted one packed operation computing four
+                // coefficient products (low, two middles, high).
+                timeline.push_phase("issue", 1, 4 * units);
+            } else {
+                timeline.push_phase("pipeline_drain", 1, 0);
+            }
 
             // Retire phase: results emerge after DSP_LATENCY edges.
             if cycles >= DSP_LATENCY as u64 && retired < issued {
@@ -484,12 +501,17 @@ impl PolyMultiplier for DspPackedMultiplier {
             }
         }
 
+        timeline.push_phase("writeback_drain", 54, 0);
+        timeline.add_counter("dsp_issues", (N / (2 * banks)) as u64 * units);
+
         let area = self.area();
         self.last_cycles = CycleReport {
             compute_cycles: cycles,
             // Same memory phases as the other high-speed designs.
             memory_overhead_cycles: 17 + 14 + 54,
         };
+        debug_assert!(timeline.reconciles_with(self.last_cycles.total()));
+        self.last_timeline = Some(timeline);
         self.activity = self.activity.merge(Activity {
             cycles: self.last_cycles.total(),
             bram_reads: 16 + 52,
@@ -538,6 +560,10 @@ impl HwMultiplier for DspPackedMultiplier {
             critical_path: CriticalPath { logic_levels: 5 },
             activity: Some(self.activity),
         }
+    }
+
+    fn timeline(&self) -> Option<&saber_trace::CycleTimeline> {
+        self.last_timeline.as_ref()
     }
 }
 

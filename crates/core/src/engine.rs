@@ -28,6 +28,7 @@
 use saber_hw::mac::{baseline_mac, multiples, select_multiple};
 use saber_hw::{Activity, Area, CycleReport};
 use saber_ring::{packing, PolyQ, SecretPoly, N};
+use saber_trace::CycleTimeline;
 
 /// Where the coefficient multiplier lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +42,12 @@ pub enum MacStyle {
 
 /// Cycle-accurate run of the parallel schoolbook datapath.
 ///
+/// Returns the product, the Table-1 cycle split, the activity record,
+/// and the per-phase [`CycleTimeline`] built *during* the simulation
+/// loop (evidence, not a re-derivation): `secret_load` /
+/// `public_preload` / `compute` / `drain`, with every compute cycle
+/// issuing one MAC per unit so `occupancy("compute")` is exactly 1.
+///
 /// # Panics
 ///
 /// Panics if `macs` is not 256, 512 or 1024 (§3.1: "by instantiating
@@ -50,19 +57,26 @@ pub fn simulate(
     s: &SecretPoly,
     macs: usize,
     style: MacStyle,
-) -> (PolyQ, CycleReport, Activity) {
+) -> (PolyQ, CycleReport, Activity, CycleTimeline) {
     assert!(
         matches!(macs, 256 | 512 | 1024),
         "engine supports 256, 512 or 1024 MACs"
     );
     let unroll = macs / N;
+    let track = match style {
+        MacStyle::PerMac => format!("baseline-{macs}"),
+        MacStyle::Centralized => format!("hs1-{macs}"),
+    };
+    let mut timeline = CycleTimeline::new(track, macs as u64);
 
     // Phase 1-2: input bursts (counted, not value-simulated — the BRAM
     // image layouts are exercised by `saber_ring::packing` tests).
     let secret_words = packing::secret_to_words(s).len() as u64; // 16
     let public_words = packing::poly13_to_words(a).len() as u64; // 52
     let preload_words = 13u64; // fills the 676-bit buffer
-    let _streamed_words = public_words - preload_words; // 39, overlapped during compute
+    let streamed_words = public_words - preload_words; // 39, overlapped during compute
+    timeline.push_phase("secret_load", secret_words + 1, 0);
+    timeline.push_phase("public_preload", preload_words + 1, 0);
 
     // Phase 3: compute. The accumulator is an explicit register; the
     // rotating secret buffer is modelled as a *logical* rotation (an
@@ -95,10 +109,14 @@ pub fn simulate(
         }
         i += unroll;
         compute_cycles += 1;
+        // Every MAC retires one coefficient product this cycle.
+        timeline.push_phase("compute", 1, macs as u64);
     }
 
     // Phase 4: drain the accumulator.
     let drain_words = public_words; // 52 words of 13-bit coefficients
+    timeline.push_phase("drain", drain_words + 2, 0);
+    timeline.add_counter("streamed_words", streamed_words);
 
     let report = CycleReport {
         compute_cycles,
@@ -114,7 +132,8 @@ pub fn simulate(
         active_ffs: 0,
         dsp_ops: 0,
     };
-    (PolyQ::from_coeffs(acc), report, activity)
+    debug_assert!(timeline.reconciles_with(report.total()));
+    (PolyQ::from_coeffs(acc), report, activity, timeline)
 }
 
 /// Cycle-accurate inner product `Σᵢ aᵢ·sᵢ`: the accumulator stays
@@ -137,7 +156,7 @@ pub fn simulate_inner_product(
     let mut compute = 0u64;
     let mut per_term_loads = 0u64;
     for (a, s) in pairs {
-        let (product, cycles, _) = simulate(a, s, macs, style);
+        let (product, cycles, _, _) = simulate(a, s, macs, style);
         sum += &product;
         compute += cycles.compute_cycles;
         // Each term still loads its own operands (secret 16+1, public
@@ -204,7 +223,7 @@ mod tests {
         let expected = schoolbook::mul_asym(&a, &s);
         for macs in [256usize, 512] {
             for style in [MacStyle::PerMac, MacStyle::Centralized] {
-                let (product, _, _) = simulate(&a, &s, macs, style);
+                let (product, _, _, _) = simulate(&a, &s, macs, style);
                 assert_eq!(product, expected, "macs = {macs}, style = {style:?}");
             }
         }
@@ -213,9 +232,9 @@ mod tests {
     #[test]
     fn cycle_counts_match_table1() {
         let (a, s) = operands(7);
-        let (_, r256, _) = simulate(&a, &s, 256, MacStyle::Centralized);
+        let (_, r256, _, _) = simulate(&a, &s, 256, MacStyle::Centralized);
         assert_eq!(r256.compute_cycles, 256);
-        let (_, r512, _) = simulate(&a, &s, 512, MacStyle::Centralized);
+        let (_, r512, _, _) = simulate(&a, &s, 512, MacStyle::Centralized);
         assert_eq!(r512.compute_cycles, 128);
         // §4.1: "the high-speed implementation with 512 multipliers
         // requires 128 cycles for the pure multiplication, or 213 cycles
@@ -225,10 +244,29 @@ mod tests {
     }
 
     #[test]
+    fn timeline_reconciles_phase_breakdown_with_totals() {
+        let (a, s) = operands(55);
+        for (macs, compute) in [(256usize, 256u64), (512, 128)] {
+            let (_, report, _, timeline) = simulate(&a, &s, macs, MacStyle::Centralized);
+            assert!(timeline.reconciles_with(report.total()));
+            assert_eq!(timeline.cycles_in("compute"), compute);
+            assert_eq!(timeline.cycles_in("secret_load"), 17);
+            assert_eq!(timeline.cycles_in("public_preload"), 14);
+            assert_eq!(timeline.cycles_in("drain"), 54);
+            // Full occupancy: one MAC per unit per compute cycle, and
+            // exactly the N² coefficient products overall.
+            assert!((timeline.occupancy("compute") - 1.0).abs() < 1e-12);
+            assert_eq!(timeline.ops_total(), (N * N) as u64);
+            assert_eq!(timeline.stall_cycles(), report.memory_overhead_cycles);
+            assert_eq!(timeline.counter("streamed_words"), 39);
+        }
+    }
+
+    #[test]
     fn unrolled_and_rolled_agree() {
         let (a, s) = operands(1009);
-        let (p1, _, _) = simulate(&a, &s, 256, MacStyle::PerMac);
-        let (p2, _, _) = simulate(&a, &s, 512, MacStyle::PerMac);
+        let (p1, _, _, _) = simulate(&a, &s, 256, MacStyle::PerMac);
+        let (p2, _, _, _) = simulate(&a, &s, 512, MacStyle::PerMac);
         assert_eq!(p1, p2);
     }
 
@@ -236,7 +274,7 @@ mod tests {
     fn lightsaber_magnitude_5_supported() {
         let a = PolyQ::from_fn(|_| 8191);
         let s = SecretPoly::from_fn(|i| if i % 2 == 0 { 5 } else { -5 });
-        let (product, _, _) = simulate(&a, &s, 512, MacStyle::Centralized);
+        let (product, _, _, _) = simulate(&a, &s, 512, MacStyle::Centralized);
         assert_eq!(product, schoolbook::mul_asym(&a, &s));
     }
 
@@ -253,7 +291,7 @@ mod tests {
         // possible reduce the cycle count of schoolbook multiplication by
         // a factor of two" — and the argument extends to 1024.
         let (a, s) = operands(333);
-        let (product, cycles, _) = simulate(&a, &s, 1024, MacStyle::Centralized);
+        let (product, cycles, _, _) = simulate(&a, &s, 1024, MacStyle::Centralized);
         assert_eq!(product, schoolbook::mul_asym(&a, &s));
         assert_eq!(cycles.compute_cycles, 64);
     }

@@ -81,6 +81,7 @@ const ACC_WORDS: usize = 64; // 256 coefficients, 4 × 16-bit fields per word
 #[derive(Debug, Clone)]
 pub struct LightweightMultiplier {
     last_cycles: CycleReport,
+    last_timeline: Option<saber_trace::CycleTimeline>,
     activity: Activity,
     multiplications: u64,
 }
@@ -91,6 +92,7 @@ impl LightweightMultiplier {
     pub fn new() -> Self {
         Self {
             last_cycles: CycleReport::default(),
+            last_timeline: None,
             activity: Activity::default(),
             multiplications: 0,
         }
@@ -127,8 +129,13 @@ impl LightweightMultiplier {
 
     /// Cycle-accurate run against the BRAM model; returns the product and
     /// the memory statistics.
-    fn simulate(&self, a: &PolyQ, s: &SecretPoly) -> (PolyQ, CycleReport, Activity) {
+    fn simulate(
+        &self,
+        a: &PolyQ,
+        s: &SecretPoly,
+    ) -> (PolyQ, CycleReport, Activity, saber_trace::CycleTimeline) {
         let mut mem = Bram::new(ACC_BASE + ACC_WORDS);
+        let mut timeline = saber_trace::CycleTimeline::new("lw-4", MACS as u64);
         // The host wrote the operands into the shared memory before
         // starting the multiplier (those transfers belong to the caller,
         // exactly as in the paper's accounting).
@@ -145,6 +152,7 @@ impl LightweightMultiplier {
             let secret_word = mem.read_data().expect("secret word arrives");
             mem.tick(); // latch into the secret register
             let block_secrets = decode_secret_word(secret_word);
+            timeline.push_phase("secret_load", 2, 0);
             debug_assert_eq!(
                 block_secrets,
                 std::array::from_fn(|t| s.coeff(BLOCK_COEFFS * block + t)),
@@ -161,11 +169,13 @@ impl LightweightMultiplier {
                 buffer_bits += 64;
             }
             mem.tick(); // final latch
+            timeline.push_phase("public_prefill", 3, 0);
 
             // --- Prime the accumulator window (2 cycles). ---
             mem.issue_read(acc_word_addr(block, 0)).expect("port free");
             mem.tick();
             mem.tick();
+            timeline.push_phase("acc_prime", 2, 0);
 
             // --- Compute: 256 coefficients × 4 cycles. ---
             for i in 0..N {
@@ -185,6 +195,8 @@ impl LightweightMultiplier {
                         pub_loaded += 1;
                         buffer_bits += 64;
                         mem.tick(); // refill the pipeline
+                        timeline.push_phase("stream_stall", 3, 0);
+                        timeline.add_counter("port_steals", 1);
                     }
                     // One MAC cycle: read the window needed next, write
                     // the word finalized last, update 4 coefficients.
@@ -204,6 +216,7 @@ impl LightweightMultiplier {
                     }
                     mem.tick();
                     compute_cycles += 1;
+                    timeline.push_phase("compute", 1, MACS as u64);
                 }
             }
 
@@ -212,6 +225,7 @@ impl LightweightMultiplier {
                 .expect("port free");
             mem.tick();
             mem.tick();
+            timeline.push_phase("acc_drain", 2, 0);
         }
 
         let stats = mem.stats();
@@ -231,7 +245,8 @@ impl LightweightMultiplier {
             active_ffs: u64::from(area.ffs),
             dsp_ops: 0,
         };
-        (PolyQ::from_coeffs(acc), report, activity)
+        debug_assert!(timeline.reconciles_with(stats.cycles));
+        (PolyQ::from_coeffs(acc), report, activity, timeline)
     }
 }
 
@@ -269,8 +284,9 @@ impl Default for LightweightMultiplier {
 
 impl PolyMultiplier for LightweightMultiplier {
     fn multiply(&mut self, public: &PolyQ, secret: &SecretPoly) -> PolyQ {
-        let (product, cycles, activity) = self.simulate(public, secret);
+        let (product, cycles, activity, timeline) = self.simulate(public, secret);
         self.last_cycles = cycles;
+        self.last_timeline = Some(timeline);
         self.activity = self.activity.merge(activity);
         self.multiplications += 1;
         product
@@ -293,6 +309,10 @@ impl HwMultiplier for LightweightMultiplier {
             critical_path: CriticalPath { logic_levels: 8 },
             activity: Some(self.activity),
         }
+    }
+
+    fn timeline(&self) -> Option<&saber_trace::CycleTimeline> {
+        self.last_timeline.as_ref()
     }
 }
 

@@ -75,6 +75,13 @@ pub trait HwMultiplier: saber_ring::PolyMultiplier {
     /// The architecture's Table-1 row (cycle counts reflect the last
     /// simulated multiplication; area/path are static properties).
     fn report(&self) -> ArchitectureReport;
+
+    /// The per-phase cycle timeline of the last simulated
+    /// multiplication, for models that record occupancy (the paper's
+    /// three architectures do; derived/sketched models may not).
+    fn timeline(&self) -> Option<&saber_trace::CycleTimeline> {
+        None
+    }
 }
 
 #[cfg(test)]

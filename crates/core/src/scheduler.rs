@@ -98,7 +98,7 @@ impl MatrixVectorScheduler {
                 } else {
                     matrix.entry(row, col)
                 };
-                let (product, _, _) =
+                let (product, _, _, _) =
                     engine::simulate(a, &s[col], self.macs, MacStyle::Centralized);
                 acc += &product;
             }

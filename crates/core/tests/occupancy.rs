@@ -1,0 +1,149 @@
+//! Occupancy acceptance tests: the paper's headline cycle budgets must
+//! reconcile with the per-phase [`saber_trace::CycleTimeline`] evidence
+//! the cycle models emit, and the steady-state utilization claims must
+//! hold as arithmetic over the recorded phases — HS-II sustains 4
+//! coefficient-MACs per DSP per issue cycle, HS-I/baseline keep every
+//! MAC busy every compute cycle, and the LW design's stalls are exactly
+//! its memory cycles.
+
+use saber_core::report::HwMultiplier;
+use saber_core::{
+    BaselineMultiplier, CentralizedMultiplier, DspPackedMultiplier, LightweightMultiplier,
+};
+use saber_ring::{PolyMultiplier, PolyQ, SecretPoly, N};
+
+fn operands(max_mag: i8) -> (PolyQ, SecretPoly) {
+    (
+        PolyQ::from_fn(|i| (i as u16).wrapping_mul(2731) & 0x1fff),
+        SecretPoly::from_fn(|i| (((i * 7) % (2 * max_mag as usize + 1)) as i8) - max_mag),
+    )
+}
+
+#[test]
+fn hs2_sustains_four_macs_per_dsp_per_steady_cycle() {
+    let (a, s) = operands(4);
+    let mut hw = DspPackedMultiplier::new();
+    let _ = hw.multiply(&a, &s);
+    let t = hw.timeline().expect("HS-II records a timeline");
+    assert_eq!(t.units(), 128);
+    // Steady state: every issue cycle retires 4 coefficient products per
+    // DSP — the §3.2 headline.
+    assert!(
+        t.occupancy("issue") >= 4.0 - 1e-9,
+        "occupancy = {}",
+        t.occupancy("issue")
+    );
+    // And the total work is exactly the N² coefficient products, so the
+    // occupancy is not inflated by double counting.
+    assert_eq!(t.ops_total(), (N * N) as u64);
+}
+
+#[test]
+fn hs2_131_cycle_budget_reconciles_with_phase_breakdown() {
+    let (a, s) = operands(4);
+    let mut hw = DspPackedMultiplier::new();
+    let _ = hw.multiply(&a, &s);
+    let t = hw.timeline().unwrap();
+    // Table 1: 131 = 128 issue + 3 DSP pipeline-drain cycles.
+    assert_eq!(t.cycles_in("issue"), 128);
+    assert_eq!(t.cycles_in("pipeline_drain"), 3);
+    assert_eq!(
+        t.cycles_in("issue") + t.cycles_in("pipeline_drain"),
+        hw.report().cycles.compute_cycles
+    );
+    assert_eq!(hw.report().cycles.compute_cycles, 131);
+    // The whole timeline tiles the full run including memory phases.
+    assert!(t.reconciles_with(hw.report().cycles.total()));
+    assert_eq!(t.stall_cycles(), hw.report().cycles.total() - 128);
+}
+
+#[test]
+fn hs1_256_cycle_budget_reconciles_with_phase_breakdown() {
+    let (a, s) = operands(5);
+    let mut hw = CentralizedMultiplier::new(256);
+    let _ = hw.multiply(&a, &s);
+    let t = hw.timeline().expect("HS-I records a timeline");
+    // Table 1: 256 compute cycles at one MAC per unit per cycle.
+    assert_eq!(t.cycles_in("compute"), 256);
+    assert!((t.occupancy("compute") - 1.0).abs() < 1e-12);
+    assert!(t.reconciles_with(hw.report().cycles.total()));
+    assert_eq!(t.stall_cycles(), hw.report().cycles.memory_overhead_cycles);
+}
+
+#[test]
+fn hs1_512_halves_compute_at_full_occupancy() {
+    let (a, s) = operands(5);
+    let mut hw = CentralizedMultiplier::new(512);
+    let _ = hw.multiply(&a, &s);
+    let t = hw.timeline().unwrap();
+    assert_eq!(t.units(), 512);
+    assert_eq!(t.cycles_in("compute"), 128);
+    assert!((t.occupancy("compute") - 1.0).abs() < 1e-12);
+    assert_eq!(t.ops_total(), (N * N) as u64);
+    // §4.1: 213 total with memory overhead.
+    assert!(t.reconciles_with(213));
+}
+
+#[test]
+fn baseline_timeline_matches_hs1_schedule() {
+    // §3.1: HS-I changes area, not the schedule — the timelines of the
+    // two architectures must be identical phase for phase.
+    let (a, s) = operands(4);
+    let mut base = BaselineMultiplier::new(512);
+    let mut hs1 = CentralizedMultiplier::new(512);
+    let _ = base.multiply(&a, &s);
+    let _ = hs1.multiply(&a, &s);
+    let (bt, ht) = (base.timeline().unwrap(), hs1.timeline().unwrap());
+    assert_eq!(bt.phases(), ht.phases());
+    assert_eq!(bt.units(), ht.units());
+}
+
+#[test]
+fn lightweight_stalls_are_exactly_the_memory_cycles() {
+    let (a, s) = operands(5);
+    let mut hw = LightweightMultiplier::new();
+    let _ = hw.multiply(&a, &s);
+    let t = hw.timeline().expect("LW records a timeline");
+    assert_eq!(t.units(), 4);
+    // §4.1: pure compute is exactly 16 × 1024 cycles, all 4 MACs busy.
+    assert_eq!(t.cycles_in("compute"), 16_384);
+    assert!((t.occupancy("compute") - 1.0).abs() < 1e-12);
+    // Every non-compute cycle is a recorded stall phase, and the
+    // breakdown tiles the measured total.
+    assert!(t.reconciles_with(hw.report().cycles.total()));
+    assert_eq!(
+        t.stall_cycles(),
+        hw.report().cycles.memory_overhead_cycles,
+        "memory overhead must be fully attributed to named phases"
+    );
+    // The port-steal counter matches the stream-stall phase cycles.
+    assert_eq!(t.counter("port_steals") * 3, t.cycles_in("stream_stall"));
+    assert!(t.counter("port_steals") > 0);
+}
+
+#[test]
+fn two_bank_hs2_keeps_per_dsp_occupancy() {
+    let (a, s) = operands(4);
+    let mut hw = DspPackedMultiplier::with_dsps(256);
+    let _ = hw.multiply(&a, &s);
+    let t = hw.timeline().unwrap();
+    assert_eq!(t.units(), 256);
+    assert_eq!(t.cycles_in("issue"), 64);
+    assert!(t.occupancy("issue") >= 4.0 - 1e-9);
+    assert!(t.reconciles_with(hw.report().cycles.total()));
+}
+
+#[test]
+fn timelines_export_to_valid_chrome_trace() {
+    let (a, s) = operands(4);
+    let mut hs2 = DspPackedMultiplier::new();
+    let mut lw = LightweightMultiplier::new();
+    let _ = hs2.multiply(&a, &s);
+    let _ = lw.multiply(&a, &s);
+    let timelines = vec![
+        hs2.timeline().unwrap().clone(),
+        lw.timeline().unwrap().clone(),
+    ];
+    let doc = saber_trace::chrome::export(None, &timelines);
+    saber_trace::chrome::validate(&doc).expect("cycle timelines export to a valid trace");
+}

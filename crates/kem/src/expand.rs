@@ -68,6 +68,7 @@ impl BitReader {
 /// ```
 #[must_use]
 pub fn gen_matrix(seed: &[u8; 32], params: &SaberParams) -> PolyMatrix {
+    let _span = saber_trace::span("kem", "expand.matrix");
     let mut xof = Shake128::new();
     xof.absorb(seed);
     xof.absorb(&[DOMAIN_MATRIX]);
@@ -107,6 +108,7 @@ fn cbd_coefficient(reader: &mut BitReader, mu: u32) -> i8 {
 /// ```
 #[must_use]
 pub fn gen_secret(seed: &[u8; 32], params: &SaberParams) -> SecretVec {
+    let _span = saber_trace::span("kem", "expand.secret");
     let mut xof = Shake128::new();
     xof.absorb(seed);
     xof.absorb(&[DOMAIN_SECRET]);

@@ -143,9 +143,13 @@ pub fn keygen<M: PolyMultiplier + ?Sized>(
     seed: &[u8; 32],
     backend: &mut M,
 ) -> (PublicKey, KemSecretKey) {
+    let _span = saber_trace::span("kem", "kem.keygen");
     let (seed_a, seed_s, z) = expand_keygen_seed(seed);
     let (pk, cpa_sk) = pke::keygen(params, seed_a, &seed_s, backend);
-    let pk_hash = Sha3_256::digest(&serialize::public_key_to_bytes(&pk));
+    let pk_hash = {
+        let _hash = saber_trace::span("kem", "hash");
+        Sha3_256::digest(&serialize::public_key_to_bytes(&pk))
+    };
     let sk = KemSecretKey {
         cpa: cpa_sk,
         public_key: pk.clone(),
@@ -157,6 +161,7 @@ pub fn keygen<M: PolyMultiplier + ?Sized>(
 
 /// Splits `G(pk_hash ‖ m)` into the pre-key and the encryption coins.
 fn g_split(pk_hash: &[u8; 32], m: &[u8; 32]) -> ([u8; 32], [u8; 32]) {
+    let _hash = saber_trace::span("kem", "hash");
     let mut g = Sha3_512::new();
     g.update(pk_hash);
     g.update(m);
@@ -170,6 +175,7 @@ fn g_split(pk_hash: &[u8; 32], m: &[u8; 32]) -> ([u8; 32], [u8; 32]) {
 
 /// Derives the final shared secret `SHA3-256(K̂ ‖ c)`.
 fn final_key(khat: &[u8; 32], ct_bytes: &[u8]) -> SharedSecret {
+    let _hash = saber_trace::span("kem", "hash");
     let mut h = Sha3_256::new();
     h.update(khat);
     h.update(ct_bytes);
@@ -187,8 +193,14 @@ pub fn encaps<M: PolyMultiplier + ?Sized>(
     entropy: &[u8; 32],
     backend: &mut M,
 ) -> (Ciphertext, SharedSecret) {
-    let m = Sha3_256::digest(entropy);
-    let pk_hash = Sha3_256::digest(&serialize::public_key_to_bytes(pk));
+    let _span = saber_trace::span("kem", "kem.encaps");
+    let (m, pk_hash) = {
+        let _hash = saber_trace::span("kem", "hash");
+        (
+            Sha3_256::digest(entropy),
+            Sha3_256::digest(&serialize::public_key_to_bytes(pk)),
+        )
+    };
     let (khat, coins) = g_split(&pk_hash, &m);
     let ct = pke::encrypt(pk, &m, &coins, backend);
     let ct_bytes = serialize::ciphertext_to_bytes(&ct, &pk.params);
@@ -203,6 +215,7 @@ pub fn decaps<M: PolyMultiplier + ?Sized>(
     ct: &Ciphertext,
     backend: &mut M,
 ) -> SharedSecret {
+    let _span = saber_trace::span("kem", "kem.decaps");
     let m_prime = pke::decrypt(&sk.cpa, ct, backend);
     let (khat_prime, coins_prime) = g_split(&sk.pk_hash, &m_prime);
     let ct_prime = pke::encrypt(&sk.public_key, &m_prime, &coins_prime, backend);
@@ -327,6 +340,57 @@ mod tests {
             assert_eq!(e.2, g.2, "ss_enc {i}");
             assert_eq!(e.3, g.3, "ss_dec {i}");
         }
+    }
+
+    #[test]
+    fn pipeline_spans_nest_under_the_kem_stages() {
+        let session = saber_trace::start();
+        saber_trace::instant_event("test", "sentinel.kem");
+        let mut backend = saber_ring::CachedSchoolbookMultiplier::new();
+        let (pk, sk) = keygen(&SABER, &[21; 32], &mut backend);
+        let (ct, _) = encaps(&pk, &[22; 32], &mut backend);
+        let _ = decaps(&sk, &ct, &mut backend);
+        let trace = session.finish();
+        // Filter to this thread: parallel tests also emit kem spans.
+        let tid = trace
+            .events()
+            .iter()
+            .find(|e| e.name == "sentinel.kem")
+            .expect("sentinel recorded")
+            .tid;
+        let count = |name: &str| {
+            trace
+                .events()
+                .iter()
+                .filter(|e| e.tid == tid && e.name == name)
+                .count()
+        };
+        // One span per pipeline stage…
+        assert_eq!(count("kem.keygen"), 1);
+        assert_eq!(count("kem.encaps"), 1);
+        assert_eq!(count("kem.decaps"), 1);
+        // …and the inner stages appear under them: keygen + encaps +
+        // decaps (decrypt + re-encrypt) = 4 pke spans, each with a
+        // matvec and a rounding phase.
+        assert_eq!(count("pke.keygen") + count("pke.encrypt") + count("pke.decrypt"), 4);
+        assert_eq!(count("matvec"), 4);
+        assert_eq!(count("rounding"), 4);
+        // Matrix expansion runs in keygen, encaps and the re-encrypt.
+        assert_eq!(count("expand.matrix"), 3);
+        assert_eq!(count("expand.secret"), 3);
+        assert!(count("hash") >= 6, "hash spans = {}", count("hash"));
+        // Nesting is recorded: pke stages sit below the kem stages.
+        let depth_of = |name: &str| {
+            trace
+                .events()
+                .iter()
+                .find(|e| e.tid == tid && e.name == name)
+                .unwrap()
+                .depth
+        };
+        assert_eq!(depth_of("kem.encaps"), 0);
+        assert_eq!(depth_of("pke.encrypt"), 1);
+        assert_eq!(depth_of("expand.matrix"), 2);
     }
 
     #[test]

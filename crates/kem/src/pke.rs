@@ -124,12 +124,17 @@ pub fn keygen<M: PolyMultiplier + ?Sized>(
     seed_s: &[u8; 32],
     backend: &mut M,
 ) -> (PublicKey, CpaSecretKey) {
+    let _span = saber_trace::span("kem", "pke.keygen");
     let a = gen_matrix(&seed_a, params);
     let s = gen_secret(seed_s, params);
-    let b = a
-        .mul_vec_transposed(&s, backend)
-        .add_constant(h1())
-        .scale_round_to_p_floor();
+    let product = {
+        let _matvec = saber_trace::span("kem", "matvec");
+        a.mul_vec_transposed(&s, backend)
+    };
+    let b = {
+        let _rounding = saber_trace::span("kem", "rounding");
+        product.add_constant(h1()).scale_round_to_p_floor()
+    };
     (
         PublicKey {
             seed_a,
@@ -149,6 +154,7 @@ pub fn encrypt<M: PolyMultiplier + ?Sized>(
     coins: &[u8; 32],
     backend: &mut M,
 ) -> Ciphertext {
+    let _span = saber_trace::span("kem", "pke.encrypt");
     let params = &pk.params;
     let rank = params.rank;
     let a = gen_matrix(&pk.seed_a, params);
@@ -168,8 +174,12 @@ pub fn encrypt<M: PolyMultiplier + ?Sized>(
         }
         ops.push((&wides[col], &s_prime[col]));
     }
-    let products = backend.multiply_batch(&ops);
+    let products = {
+        let _matvec = saber_trace::span("kem", "matvec");
+        backend.multiply_batch(&ops)
+    };
 
+    let _rounding = saber_trace::span("kem", "rounding");
     // b' = ((A·s' + h) mod q) >> (ε_q − ε_p)
     let mut b_rows = vec![PolyQ::zero(); rank];
     let mut v_acc = PolyQ::zero();
@@ -212,10 +222,15 @@ pub fn decrypt<M: PolyMultiplier + ?Sized>(
     ciphertext: &Ciphertext,
     backend: &mut M,
 ) -> [u8; 32] {
+    let _span = saber_trace::span("kem", "pke.decrypt");
     let params = &sk.params;
     // v = b'ᵀ·(s mod p) mod p
-    let v = ciphertext.b_prime.inner_product_mod_p(&sk.s, backend);
+    let v = {
+        let _matvec = saber_trace::span("kem", "matvec");
+        ciphertext.b_prime.inner_product_mod_p(&sk.s, backend)
+    };
 
+    let _rounding = saber_trace::span("kem", "rounding");
     // m' = ((v + h2 − 2^(ε_p − ε_T)·c_m) mod p) >> (ε_p − 1)
     let shift = EPS_P - params.eps_t;
     let h2_val = h2(params.eps_t);

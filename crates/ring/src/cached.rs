@@ -92,6 +92,7 @@ impl SecretBuckets {
                 self.negative[v - 1].push(j);
             }
         }
+        saber_trace::counter("ring", "hs1.bucket_build", 1);
     }
 
     /// Largest magnitude present in the decomposed secret.
@@ -225,15 +226,22 @@ impl PolyMultiplier for CachedSchoolbookMultiplier {
         let mut decomposed: Vec<(&SecretPoly, SecretBuckets)> = Vec::new();
         let mut out = Vec::with_capacity(ops.len());
         for &(public, secret) in ops {
-            let index = decomposed
+            let index = match decomposed
                 .iter()
                 .position(|(known, _)| std::ptr::eq(*known, secret) || *known == secret)
-                .unwrap_or_else(|| {
+            {
+                Some(index) => {
+                    saber_trace::counter("ring", "hs1.bucket_hit", 1);
+                    index
+                }
+                None => {
+                    saber_trace::counter("ring", "hs1.bucket_miss", 1);
                     let mut buckets = SecretBuckets::default();
                     buckets.decompose(secret);
                     decomposed.push((secret, buckets));
                     decomposed.len() - 1
-                });
+                }
+            };
             out.push(self.multiply_decomposed(public, &decomposed[index].1));
         }
         out
@@ -320,6 +328,48 @@ mod tests {
         for (k, (a, s)) in ops.iter().enumerate() {
             assert_eq!(batched[k], schoolbook::mul_asym(a, s), "pair {k}");
         }
+    }
+
+    #[test]
+    fn batch_counters_record_builds_hits_and_misses() {
+        let session = saber_trace::start();
+        saber_trace::instant_event("test", "sentinel.cached");
+        let mut cached = CachedSchoolbookMultiplier::new();
+        let publics: Vec<PolyQ> = (0..6).map(|k| poly(200 + k)).collect();
+        let s0 = secret(1);
+        let s1 = secret(2);
+        let ops: Vec<(&PolyQ, &SecretPoly)> = publics
+            .iter()
+            .enumerate()
+            .map(|(k, a)| (a, if k % 2 == 0 { &s0 } else { &s1 }))
+            .collect();
+        let _ = cached.multiply_batch(&ops);
+        let trace = session.finish();
+        // Other tests in this binary run concurrently and may record ring
+        // counters of their own while the session is live; restrict the
+        // sums to events recorded by this thread.
+        let tid = trace
+            .events()
+            .iter()
+            .find(|e| e.name == "sentinel.cached")
+            .expect("sentinel recorded")
+            .tid;
+        let total = |name: &str| -> i64 {
+            trace
+                .events()
+                .iter()
+                .filter(|e| e.tid == tid && e.name == name)
+                .filter_map(|e| match e.kind {
+                    saber_trace::EventKind::Counter { value, .. } => Some(value),
+                    _ => None,
+                })
+                .sum()
+        };
+        // Two distinct secrets in a six-op batch: two cold decompositions,
+        // four dedup hits.
+        assert_eq!(total("hs1.bucket_miss"), 2);
+        assert_eq!(total("hs1.bucket_build"), 2);
+        assert_eq!(total("hs1.bucket_hit"), 4);
     }
 
     #[test]

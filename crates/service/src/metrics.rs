@@ -161,6 +161,8 @@ pub struct Metrics {
     worker_panics: AtomicU64,
     queue_high_water: AtomicU64,
     ops: [LatencyHistogram; 4],
+    queue_wait: [LatencyHistogram; 4],
+    execute: [LatencyHistogram; 4],
 }
 
 impl Metrics {
@@ -176,10 +178,15 @@ impl Metrics {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A job completed successfully; `latency_ns` is enqueue→completion.
-    pub fn record_completed(&self, op: OpKind, latency_ns: u64) {
+    /// A job completed successfully. The two halves of its life are
+    /// recorded separately — `wait_ns` is enqueue→dequeue (scheduling
+    /// pressure), `exec_ns` is dequeue→completion (work) — and their sum
+    /// feeds the combined per-op histogram.
+    pub fn record_completed(&self, op: OpKind, wait_ns: u64, exec_ns: u64) {
         self.completed.fetch_add(1, Ordering::Relaxed);
-        self.ops[op.index()].record(latency_ns);
+        self.ops[op.index()].record(wait_ns.saturating_add(exec_ns));
+        self.queue_wait[op.index()].record(wait_ns);
+        self.execute[op.index()].record(exec_ns);
     }
 
     /// An instrumentation job (no [`OpKind`]) completed: bumps the
@@ -217,6 +224,14 @@ impl Metrics {
                 .into_iter()
                 .map(|op| (op, self.ops[op.index()].snapshot()))
                 .collect(),
+            queue_wait: OpKind::ALL
+                .into_iter()
+                .map(|op| (op, self.queue_wait[op.index()].snapshot()))
+                .collect(),
+            execute: OpKind::ALL
+                .into_iter()
+                .map(|op| (op, self.execute[op.index()].snapshot()))
+                .collect(),
         }
     }
 }
@@ -244,36 +259,67 @@ pub struct ServiceReport {
     pub worker_panics: u64,
     /// Highest queue depth observed at submit time.
     pub queue_high_water: u64,
-    /// Per-operation latency histograms, in [`OpKind::ALL`] order.
+    /// Per-operation end-to-end (enqueue→completion) latency
+    /// histograms, in [`OpKind::ALL`] order.
     pub ops: Vec<(OpKind, HistogramSnapshot)>,
+    /// Per-operation queue-wait (enqueue→dequeue) histograms.
+    pub queue_wait: Vec<(OpKind, HistogramSnapshot)>,
+    /// Per-operation execution (dequeue→completion) histograms.
+    pub execute: Vec<(OpKind, HistogramSnapshot)>,
 }
 
 impl ServiceReport {
-    /// The snapshot for one operation, if recorded.
+    /// The end-to-end snapshot for one operation, if recorded.
     #[must_use]
     pub fn op(&self, op: OpKind) -> Option<&HistogramSnapshot> {
         self.ops.iter().find(|(k, _)| *k == op).map(|(_, h)| h)
+    }
+
+    /// The queue-wait half of one operation's latency, if recorded.
+    #[must_use]
+    pub fn op_queue_wait(&self, op: OpKind) -> Option<&HistogramSnapshot> {
+        self.queue_wait.iter().find(|(k, _)| *k == op).map(|(_, h)| h)
+    }
+
+    /// The execution half of one operation's latency, if recorded.
+    #[must_use]
+    pub fn op_execute(&self, op: OpKind) -> Option<&HistogramSnapshot> {
+        self.execute.iter().find(|(k, _)| *k == op).map(|(_, h)| h)
     }
 
     /// Serializes into the in-tree JSON document model.
     #[must_use]
     pub fn to_json_value(&self) -> Value {
         let int = |v: u64| Value::Int(v as i64);
+        let histogram_fields = |h: &HistogramSnapshot| {
+            vec![
+                ("count".to_string(), int(h.count)),
+                ("total_ns".to_string(), int(h.total_ns)),
+                ("max_ns".to_string(), int(h.max_ns)),
+                ("mean_ns".to_string(), int(h.mean_ns())),
+                (
+                    "buckets".to_string(),
+                    Value::Array(h.counts.iter().map(|&c| int(c)).collect()),
+                ),
+            ]
+        };
+        let split = |op: OpKind, side: &[(OpKind, HistogramSnapshot)]| {
+            let h = side
+                .iter()
+                .find(|(k, _)| *k == op)
+                .map(|(_, h)| h.clone())
+                .unwrap_or_default();
+            Value::Object(histogram_fields(&h))
+        };
         let ops = self
             .ops
             .iter()
             .map(|(op, h)| {
-                Value::Object(vec![
-                    ("op".into(), Value::Str(op.label().into())),
-                    ("count".into(), int(h.count)),
-                    ("total_ns".into(), int(h.total_ns)),
-                    ("max_ns".into(), int(h.max_ns)),
-                    ("mean_ns".into(), int(h.mean_ns())),
-                    (
-                        "buckets".into(),
-                        Value::Array(h.counts.iter().map(|&c| int(c)).collect()),
-                    ),
-                ])
+                let mut fields = vec![("op".to_string(), Value::Str(op.label().into()))];
+                fields.extend(histogram_fields(h));
+                fields.push(("queue_wait".to_string(), split(*op, &self.queue_wait)));
+                fields.push(("execute".to_string(), split(*op, &self.execute)));
+                Value::Object(fields)
             })
             .collect();
         Value::Object(vec![
@@ -314,14 +360,7 @@ impl ServiceReport {
             let v = value.int_field(key)?;
             u64::try_from(v).map_err(|_| format!("field {key:?} is negative"))
         };
-        let mut ops = Vec::new();
-        for entry in value
-            .get("ops")
-            .and_then(Value::as_array)
-            .ok_or("missing ops array")?
-        {
-            let op = OpKind::from_label(entry.str_field("op")?)
-                .ok_or_else(|| format!("unknown op label {:?}", entry.str_field("op")))?;
+        fn histogram_from(entry: &Value) -> Result<HistogramSnapshot, String> {
             let buckets = entry
                 .get("buckets")
                 .and_then(Value::as_array)
@@ -340,14 +379,31 @@ impl ServiceReport {
                 let v = entry.int_field(key)?;
                 u64::try_from(v).map_err(|_| format!("field {key:?} is negative"))
             };
-            ops.push((
+            Ok(HistogramSnapshot {
+                counts,
+                count: field("count")?,
+                total_ns: field("total_ns")?,
+                max_ns: field("max_ns")?,
+            })
+        }
+        let mut ops = Vec::new();
+        let mut queue_wait = Vec::new();
+        let mut execute = Vec::new();
+        for entry in value
+            .get("ops")
+            .and_then(Value::as_array)
+            .ok_or("missing ops array")?
+        {
+            let op = OpKind::from_label(entry.str_field("op")?)
+                .ok_or_else(|| format!("unknown op label {:?}", entry.str_field("op")))?;
+            ops.push((op, histogram_from(entry)?));
+            queue_wait.push((
                 op,
-                HistogramSnapshot {
-                    counts,
-                    count: field("count")?,
-                    total_ns: field("total_ns")?,
-                    max_ns: field("max_ns")?,
-                },
+                histogram_from(entry.get("queue_wait").ok_or("missing queue_wait histogram")?)?,
+            ));
+            execute.push((
+                op,
+                histogram_from(entry.get("execute").ok_or("missing execute histogram")?)?,
             ));
         }
         Ok(ServiceReport {
@@ -361,6 +417,8 @@ impl ServiceReport {
             worker_panics: int("worker_panics")?,
             queue_high_water: int("queue_high_water")?,
             ops,
+            queue_wait,
+            execute,
         })
     }
 
@@ -389,12 +447,16 @@ impl ServiceReport {
         );
         for (op, h) in &self.ops {
             if h.count > 0 {
+                let wait = self.op_queue_wait(*op).map_or(0, HistogramSnapshot::mean_ns);
+                let exec = self.op_execute(*op).map_or(0, HistogramSnapshot::mean_ns);
                 line.push_str(&format!(
-                    " {}[n={} mean={}ns max={}ns]",
+                    " {}[n={} mean={}ns max={}ns wait={}ns exec={}ns]",
                     op.label(),
                     h.count,
                     h.mean_ns(),
-                    h.max_ns
+                    h.max_ns,
+                    wait,
+                    exec
                 ));
             }
         }
@@ -441,6 +503,48 @@ mod tests {
         assert_eq!(s.total_ns, 20_003_500);
         assert_eq!(s.max_ns, 20_000_000);
         assert_eq!(s.mean_ns(), 20_003_500 / 4);
+    }
+
+    #[test]
+    fn every_finite_bucket_boundary_is_an_exact_exclusive_edge() {
+        // The three samples around each finite bound: one below stays,
+        // the bound itself and one above roll over — no off-by-one on
+        // any of the 15 edges.
+        for (i, &bound) in BUCKET_BOUNDS_NS.iter().take(BUCKET_COUNT - 1).enumerate() {
+            assert_eq!(bucket_index(bound - 1), i, "below bound {i}");
+            assert_eq!(bucket_index(bound), i + 1, "at bound {i}");
+            assert_eq!(bucket_index(bound + 1), i + 1, "above bound {i}");
+        }
+    }
+
+    #[test]
+    fn record_completed_splits_wait_and_execute() {
+        let m = Metrics::default();
+        m.record_completed(OpKind::Encaps, 1_500, 900);
+        let r = m.snapshot(1, 4, 0);
+        let total = r.op(OpKind::Encaps).unwrap();
+        let wait = r.op_queue_wait(OpKind::Encaps).unwrap();
+        let exec = r.op_execute(OpKind::Encaps).unwrap();
+        assert_eq!(total.count, 1);
+        assert_eq!(total.total_ns, 2_400, "total is the sum of the halves");
+        assert_eq!(wait.total_ns, 1_500);
+        assert_eq!(exec.total_ns, 900);
+        // Each half lands in its own bucket; the sum in a third.
+        assert_eq!(wait.counts[1], 1, "1.5µs → bucket 1");
+        assert_eq!(exec.counts[0], 1, "900ns → bucket 0");
+        assert_eq!(total.counts[2], 1, "2.4µs → bucket 2");
+        // The untouched ops stay empty on every side.
+        assert_eq!(r.op_queue_wait(OpKind::Decaps).unwrap().count, 0);
+        assert_eq!(r.op_execute(OpKind::Decaps).unwrap().count, 0);
+    }
+
+    #[test]
+    fn split_sum_saturates_instead_of_wrapping() {
+        let m = Metrics::default();
+        m.record_completed(OpKind::Keygen, u64::MAX, 1);
+        let r = m.snapshot(1, 4, 0);
+        assert_eq!(r.op(OpKind::Keygen).unwrap().total_ns, u64::MAX);
+        assert_eq!(r.op(OpKind::Keygen).unwrap().max_ns, u64::MAX);
     }
 
     #[test]

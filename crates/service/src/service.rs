@@ -545,12 +545,34 @@ fn worker_loop(inner: &Inner) {
             slot,
             enqueued,
         } = job;
+        let dequeued = Instant::now();
+        let wait_ns = u64::try_from(
+            dequeued
+                .saturating_duration_since(enqueued)
+                .as_nanos(),
+        )
+        .unwrap_or(u64::MAX);
         match catch_unwind(AssertUnwindSafe(|| run_request(&mut shard, request))) {
             Ok(response) => {
-                let latency_ns =
-                    u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let exec_ns =
+                    u64::try_from(dequeued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                if saber_trace::enabled() {
+                    let name = op.map_or("job", OpKind::label);
+                    saber_trace::span_at(
+                        "service",
+                        "queue_wait",
+                        saber_trace::instant_ns(enqueued),
+                        wait_ns,
+                    );
+                    saber_trace::span_at(
+                        "service",
+                        name,
+                        saber_trace::instant_ns(dequeued),
+                        exec_ns,
+                    );
+                }
                 match op {
-                    Some(op) => inner.metrics.record_completed(op, latency_ns),
+                    Some(op) => inner.metrics.record_completed(op, wait_ns, exec_ns),
                     None => inner.metrics.record_completed_untyped(),
                 }
                 slot.fill(Ok(response));

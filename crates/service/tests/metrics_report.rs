@@ -78,6 +78,19 @@ fn live_snapshots_are_monotone() {
     assert_monotone(&prev, &last, "final");
     assert_eq!(last.completed, 15);
     assert_eq!(last.op(OpKind::MatVec).unwrap().count, 15);
+
+    // The split histograms tile the end-to-end one: same sample count on
+    // both sides, and wait + execute sums to the combined total exactly
+    // (record_completed records the sum, not an independent clock read).
+    let total = last.op(OpKind::MatVec).unwrap();
+    let wait = last.op_queue_wait(OpKind::MatVec).unwrap();
+    let exec = last.op_execute(OpKind::MatVec).unwrap();
+    assert_eq!(wait.count, 15);
+    assert_eq!(exec.count, 15);
+    assert_eq!(wait.total_ns + exec.total_ns, total.total_ns);
+    assert!(exec.total_ns > 0, "executing 15 mat-vecs takes time");
+    assert!(wait.max_ns <= total.max_ns);
+    assert!(exec.max_ns <= total.max_ns);
 }
 
 #[test]
@@ -121,6 +134,18 @@ fn service_report_roundtrips_through_json() {
     assert!(text.contains("\"report\": \"saber-service\""));
     assert!(text.contains("\"mean_ns\""));
     assert!(text.contains("\"bucket_bounds_ns\""));
+
+    // The queue-wait/execute split survives the round-trip too.
+    assert!(text.contains("\"queue_wait\""));
+    assert!(text.contains("\"execute\""));
+    let wait = back.op_queue_wait(OpKind::Keygen).expect("wait histogram");
+    let exec = back.op_execute(OpKind::Keygen).expect("execute histogram");
+    assert_eq!(wait.count, 1);
+    assert_eq!(exec.count, 1);
+    assert_eq!(wait.total_ns + exec.total_ns, keygen.total_ns);
+    // The one-line summary surfaces both halves.
+    assert!(report.format_summary().contains("wait="));
+    assert!(report.format_summary().contains("exec="));
 }
 
 #[test]

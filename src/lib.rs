@@ -12,6 +12,8 @@
 //! * [`hw`] — cycle-accurate FPGA primitive models and area/power models
 //! * [`arch`] — the paper's multiplier architectures (the contribution)
 //! * [`coproc`] — the instruction-set coprocessor the multipliers plug into
+//! * [`trace`] — structured tracing/profiling with Chrome-trace export
+//! * [`service`] — the concurrent KEM service layer
 
 #![forbid(unsafe_code)]
 
@@ -23,3 +25,5 @@ pub use saber_hw as hw;
 pub use saber_keccak as keccak;
 pub use saber_kem as kem;
 pub use saber_ring as ring;
+pub use saber_service as service;
+pub use saber_trace as trace;

@@ -43,6 +43,23 @@ done
 echo "==> service soak: SABER_SOAK_OPS=10000 (release)"
 SABER_SOAK_OPS=10000 cargo test -q --release -p saber-service --test soak
 
+# Observability gates. The trace_profile example records one full KEM
+# round trip plus the cycle-model lanes and validates the exported
+# Chrome trace-event JSON against the schema checker (it exits nonzero
+# on any violation). The overhead bench then enforces the tracing
+# layer's core contract: a probe with no session active stays under
+# SABER_TRACE_MAX_DISABLED_NS (default 25 ns — measured cost is ~3 ns).
+# The no-default-features build proves the fully compiled-out
+# configuration (every probe a no-op at compile time) still builds.
+echo "==> trace: profile example + Chrome trace schema validation"
+cargo run -q --release --example trace_profile
+
+echo "==> trace: disabled-path overhead gate (release)"
+cargo bench -q -p saber-bench --bench trace_overhead
+
+echo "==> trace: capture feature compiled out still builds"
+cargo build -q -p saber-trace --no-default-features
+
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
