@@ -69,6 +69,7 @@ fn bench_matvec(report: &mut ServiceBenchReport) {
             let service = KemService::spawn(&ServiceConfig {
                 workers,
                 queue_capacity: MATVEC_JOBS,
+                ..ServiceConfig::default()
             });
             let measured_ns = measure_per_op(MATVEC_JOBS, 3, || {
                 let handles: Vec<_> = (0..MATVEC_JOBS)
@@ -109,6 +110,7 @@ fn bench_kem_mixed(report: &mut ServiceBenchReport) {
         let service = KemService::spawn(&ServiceConfig {
             workers,
             queue_capacity: KEM_OPS,
+            ..ServiceConfig::default()
         });
         let measured_ns = measure_per_op(KEM_OPS, 2, || {
             let _ = std::hint::black_box(

@@ -1,0 +1,148 @@
+//! **SWAR throughput** — the HS-II software mirror against the HS-I
+//! software mirror, head to head on the hot path.
+//!
+//! Measures, for all three parameter sets:
+//!
+//! * rank-`ℓ` matrix–vector products `A·s` on the batched
+//!   [`CachedSchoolbookMultiplier`] (HS-I mirror: one `i64` add per
+//!   coefficient MAC) vs the batched [`SwarMultiplier`] (HS-II mirror:
+//!   one `u64` add per *two* coefficient MACs, pair-magnitude row
+//!   builds);
+//! * single asymmetric products `a·s`;
+//! * full KEM round trips (keygen + encaps + decaps) on both engines.
+//!
+//! Emits `BENCH_swar.json` via
+//! [`BatchBenchReport::to_json_as`](saber_bench::tables::BatchBenchReport::to_json_as)
+//! with `swar_batched` measured against the `cached_batched` baseline,
+//! so the speedup the ISSUE gates on (≥ 1.5× mat-vec) is recorded, not
+//! just printed.
+
+use saber_bench::microbench::{black_box, Criterion};
+use saber_bench::tables::BatchBenchReport;
+use saber_kem::expand::{gen_matrix, gen_secret};
+use saber_kem::params::ALL_PARAMS;
+use saber_kem::SaberParams;
+use saber_ring::{CachedSchoolbookMultiplier, PolyMatrix, PolyMultiplier, SecretVec, SwarMultiplier};
+
+const BACKENDS: [&str; 2] = ["cached_batched", "swar_batched"];
+
+fn operands(params: &SaberParams) -> (PolyMatrix, SecretVec) {
+    let a = gen_matrix(&[0x5a; 32], params);
+    let s = gen_secret(&[0xa5; 32], params);
+    (a, s)
+}
+
+fn bench_matvec(c: &mut Criterion, report: &mut BatchBenchReport) {
+    let mut group = c.benchmark_group("swar_throughput/matvec");
+    for params in &ALL_PARAMS {
+        let (a, s) = operands(params);
+        group.bench_function(format!("{}_cached_batched", params.name), |b| {
+            let mut backend = CachedSchoolbookMultiplier::new();
+            b.iter(|| black_box(a.mul_vec(black_box(&s), &mut backend)));
+        });
+        group.bench_function(format!("{}_swar_batched", params.name), |b| {
+            let mut backend = SwarMultiplier::new();
+            b.iter(|| black_box(a.mul_vec(black_box(&s), &mut backend)));
+        });
+    }
+    group.finish();
+    harvest(c, "matvec", report);
+}
+
+fn bench_poly_mul(c: &mut Criterion, report: &mut BatchBenchReport) {
+    let mut group = c.benchmark_group("swar_throughput/poly_mul");
+    for params in &ALL_PARAMS {
+        let (a, s) = operands(params);
+        let public = a.entry(0, 0).clone();
+        let secret = s[0].clone();
+        group.bench_function(format!("{}_cached_batched", params.name), |b| {
+            let mut backend = CachedSchoolbookMultiplier::new();
+            b.iter(|| black_box(backend.multiply(black_box(&public), black_box(&secret))));
+        });
+        group.bench_function(format!("{}_swar_batched", params.name), |b| {
+            let mut backend = SwarMultiplier::new();
+            b.iter(|| black_box(backend.multiply(black_box(&public), black_box(&secret))));
+        });
+    }
+    group.finish();
+    harvest(c, "poly_mul", report);
+}
+
+fn bench_kem(c: &mut Criterion, report: &mut BatchBenchReport) {
+    let mut group = c.benchmark_group("swar_throughput/kem");
+    group.sample_size(10);
+    for params in &ALL_PARAMS {
+        let roundtrip = |backend: &mut dyn PolyMultiplier| {
+            let (pk, sk) = saber_kem::keygen(params, &[7; 32], backend);
+            let (ct, ss_enc) = saber_kem::encaps(&pk, &[8; 32], backend);
+            let ss_dec = saber_kem::decaps(&sk, &ct, backend);
+            assert_eq!(ss_enc, ss_dec, "KEM round trip must close");
+            ss_dec
+        };
+        group.bench_function(format!("{}_cached_batched", params.name), |b| {
+            let mut backend = CachedSchoolbookMultiplier::new();
+            b.iter(|| black_box(roundtrip(&mut backend)));
+        });
+        group.bench_function(format!("{}_swar_batched", params.name), |b| {
+            let mut backend = SwarMultiplier::new();
+            b.iter(|| black_box(roundtrip(&mut backend)));
+        });
+    }
+    group.finish();
+    harvest(c, "kem_roundtrip", report);
+}
+
+/// Moves this run's measurements from the criterion result log into the
+/// JSON report (ids look like `swar_throughput/matvec/Saber_swar_batched`).
+fn harvest(c: &Criterion, op: &str, report: &mut BatchBenchReport) {
+    for (id, m) in c.results() {
+        for params in &ALL_PARAMS {
+            for backend in BACKENDS {
+                let suffix = format!("/{}_{}", params.name, backend);
+                let already = report
+                    .entries
+                    .iter()
+                    .any(|e| e.params == params.name && e.op == op && e.backend == backend);
+                if id.ends_with(&suffix) && id.contains(op_group(op)) && !already {
+                    report.push(params.name, op, backend, m.mean.as_nanos() as f64);
+                }
+            }
+        }
+    }
+}
+
+fn op_group(op: &str) -> &'static str {
+    match op {
+        "matvec" => "swar_throughput/matvec",
+        "poly_mul" => "swar_throughput/poly_mul",
+        _ => "swar_throughput/kem",
+    }
+}
+
+fn main() {
+    println!("\n=== SWAR packed multiplier throughput (HS-II vs HS-I software mirrors) ===\n");
+
+    let mut criterion = Criterion::default().configure_from_args();
+    let mut report = BatchBenchReport::default();
+    bench_matvec(&mut criterion, &mut report);
+    bench_poly_mul(&mut criterion, &mut report);
+    bench_kem(&mut criterion, &mut report);
+
+    println!("\n{}", report.format_text());
+    for params in &ALL_PARAMS {
+        for op in ["matvec", "poly_mul", "kem_roundtrip"] {
+            if let Some(s) = report.speedup(params.name, op, "cached_batched", "swar_batched") {
+                println!("speedup {:<12} {:<14} {s:.2}x  (swar vs cached)", params.name, op);
+            }
+        }
+    }
+
+    let json = report.to_json_as("swar_throughput", "cached_batched", "swar_batched");
+    let path = "BENCH_swar.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+
+    criterion.final_summary();
+}

@@ -176,7 +176,15 @@ impl BatchBenchReport {
     /// the flat entry list, and the per-cell speedups).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"bench\": \"batch_throughput\",\n  \"entries\": [\n");
+        self.to_json_as("batch_throughput", "schoolbook_percall", "cached_batched")
+    }
+
+    /// [`to_json`](Self::to_json) generalized to any bench tag and
+    /// speedup pair — the `swar_throughput` tier reports `swar_batched`
+    /// against the `cached_batched` baseline through this.
+    #[must_use]
+    pub fn to_json_as(&self, bench: &str, baseline: &str, fast: &str) -> String {
+        let mut out = format!("{{\n  \"bench\": \"{bench}\",\n  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"params\": \"{}\", \"op\": \"{}\", \"backend\": \"{}\", \
@@ -200,12 +208,11 @@ impl BatchBenchReport {
         let lines: Vec<String> = cells
             .iter()
             .filter_map(|(params, op)| {
-                self.speedup(params, op, "schoolbook_percall", "cached_batched")
-                    .map(|s| {
-                        format!(
-                            "    {{\"params\": \"{params}\", \"op\": \"{op}\", \"speedup\": {s:.2}}}"
-                        )
-                    })
+                self.speedup(params, op, baseline, fast).map(|s| {
+                    format!(
+                        "    {{\"params\": \"{params}\", \"op\": \"{op}\", \"speedup\": {s:.2}}}"
+                    )
+                })
             })
             .collect();
         out.push_str(&lines.join(",\n"));

@@ -180,6 +180,8 @@ pub fn unpack(
         r2 = if plan.invert_a0 {
             (r2 + 1) & MASK13
         } else {
+            // Decrement mod 2^13: r2 = 0 must wrap to q − 1 under the
+            // mask (the field is a residue mod q = 2^13, not a count).
             r2.wrapping_sub(1) & MASK13
         };
     }
@@ -187,6 +189,8 @@ pub fn unpack(
     let fix_sign = |v: u32, negate: bool| -> u16 {
         let v = v & MASK13;
         if negate {
+            // Negation mod 2^13: 0 − v wraps in u32, and the mask
+            // reduces 2^32 − v to 2^13 − v because 2^13 | 2^32.
             (0u32.wrapping_sub(v) & MASK13) as u16
         } else {
             v as u16
@@ -221,11 +225,13 @@ pub fn unpack_paper_text_only(
     let expected_lsb = u32::from(a1_lsb & s1_mag_lsb & 1);
     if (r2 & 1) != expected_lsb {
         // "subtract one if not [correct]" — the only fix the text gives.
+        // Decrement mod 2^13 (wrap-then-mask, as in `unpack`).
         r2 = r2.wrapping_sub(1) & MASK13;
     }
     let fix_sign = |v: u32, negate: bool| -> u16 {
         let v = v & MASK13;
         if negate {
+            // Negation mod 2^13 (wrap-then-mask, as in `unpack`).
             (0u32.wrapping_sub(v) & MASK13) as u16
         } else {
             v as u16
@@ -534,6 +540,10 @@ impl PolyMultiplier for DspPackedMultiplier {
     }
 }
 
+// Accumulation in Z_{2^13}: both the negation (0 − v) and the running
+// sum deliberately wrap in u32 — the trailing `& MASK13` reduces every
+// intermediate exactly because 2^13 divides 2^32, so wrapped values are
+// congruent mod q.
 fn add13(slot: &mut u16, value: u16, negate: bool) {
     let v = if negate {
         0u32.wrapping_sub(u32::from(value))

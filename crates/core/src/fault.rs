@@ -3,8 +3,9 @@
 //!
 //! A differential test layer is only trustworthy if it demonstrably
 //! fails when the hardware is wrong. This module provides a catalogue of
-//! single-point faults — each one a realistic RTL bug in an HS-I, HS-II
-//! or LW datapath — and a [`FaultyMultiplier`] that runs the affected
+//! single-point faults — each one a realistic bug in an HS-I, HS-II or
+//! LW datapath or in the `saber_ring::swar` software mirror of the
+//! HS-II packing — and a [`FaultyMultiplier`] that runs the affected
 //! dataflow with exactly that fault seeded. The `saber-verify`
 //! differential fuzzer is required (and CI-gated) to detect **every**
 //! variant: a mutation-style check proving the test corpus exercises the
@@ -72,11 +73,18 @@ pub enum Fault {
     /// LW: the secret sign line into the MAC is stuck at *add* — every
     /// selected multiple is accumulated with positive sign.
     LwSecretSignIgnored,
+    /// SWAR software backend (`saber_ring::swar`): the decode-time
+    /// inter-lane carry repair is dropped — the deferred `+C` negation
+    /// completion still runs, but the carries that complement rows
+    /// pushed across the 32-bit lane boundary are never subtracted back
+    /// out of the high lane (the software analogue of
+    /// [`Fault::HsIICarryFixDropped`]).
+    SwarCarryRepairDropped,
 }
 
 impl Fault {
     /// Every fault in the catalogue (the sensitivity gate iterates this).
-    pub const ALL: [Fault; 7] = [
+    pub const ALL: [Fault; 8] = [
         Fault::HsIMuxSelectFlip,
         Fault::HsIRotationSignDropped,
         Fault::HsIICarryFixDropped,
@@ -84,6 +92,7 @@ impl Fault {
         Fault::HsIIPipelineSkew,
         Fault::LwWrapSignDropped,
         Fault::LwSecretSignIgnored,
+        Fault::SwarCarryRepairDropped,
     ];
 
     /// Largest secret magnitude the faulted datapath accepts: the HS-II
@@ -110,6 +119,7 @@ impl Fault {
             Fault::HsIIPipelineSkew => "HS-II pipeline skew",
             Fault::LwWrapSignDropped => "LW wrap sign dropped",
             Fault::LwSecretSignIgnored => "LW secret sign ignored",
+            Fault::SwarCarryRepairDropped => "SWAR carry repair dropped",
         }
     }
 }
@@ -155,6 +165,7 @@ impl PolyMultiplier for FaultyMultiplier {
             Fault::HsIIPipelineSkew => hs2_pipeline_skew(public, secret),
             Fault::LwWrapSignDropped => lw_wrap_sign_dropped(public, secret),
             Fault::LwSecretSignIgnored => lw_secret_sign_ignored(public, secret),
+            Fault::SwarCarryRepairDropped => swar_carry_repair_dropped(public, secret),
         }
     }
 
@@ -347,6 +358,53 @@ fn lw_wrap_sign_dropped(a: &PolyQ, s: &SecretPoly) -> PolyQ {
     PolyQ::from_coeffs(acc)
 }
 
+/// SWAR lane dataflow (same packing, complement rows and deferred-`+C`
+/// negation completion as `saber_ring::swar`) with the decode-time
+/// inter-lane carry repair removed: low-lane wraps from complement rows
+/// leak into the high lane and are never subtracted back out.
+fn swar_carry_repair_dropped(a: &PolyQ, s: &SecretPoly) -> PolyQ {
+    // Accumulate per lane: word w holds coefficients 2w (bits 0..32)
+    // and 2w+1 (bits 32..64); a negative secret coefficient adds the
+    // complement lane `2^32 − 1 − v` and books one deferred +1.
+    let mut words = [0u64; N];
+    let mut neg_diff = [0i32; 2 * N];
+    for (j, &c) in s.coeffs().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let negative = c < 0;
+        if negative {
+            neg_diff[j] += 1;
+            neg_diff[j + N] -= 1;
+        }
+        let mag = u64::from(c.unsigned_abs());
+        for t in 0..N {
+            let v = mag * u64::from(a.coeff(t));
+            let lane = if negative { u64::from(!(v as u32)) } else { v };
+            let p = j + t;
+            // Modulo 2^64 by design: low-lane carries crossing into the
+            // high lane are exactly what the (dropped) repair accounts.
+            words[p / 2] = words[p / 2].wrapping_add(lane << (32 * (p % 2)));
+        }
+    }
+    // Decode with the +C completion but WITHOUT the carry repair.
+    let mut wide = [0i64; 2 * N];
+    let mut count = 0i32;
+    for (w, &word) in words.iter().enumerate() {
+        count += neg_diff[2 * w];
+        wide[2 * w] = i64::from(word as u32 as i32) + i64::from(count);
+        count += neg_diff[2 * w + 1];
+        // Fault: `count − [low lane < 0]` carries should be subtracted
+        // from the high lane here before it is read.
+        wide[2 * w + 1] = i64::from((word >> 32) as u32 as i32) + i64::from(count);
+    }
+    let mut folded = [0i64; N];
+    for (k, out) in folded.iter_mut().enumerate() {
+        *out = wide[k] - wide[k + N];
+    }
+    PolyQ::from_signed(&folded)
+}
+
 /// LW dataflow with the MAC's add/sub line stuck at *add*.
 fn lw_secret_sign_ignored(a: &PolyQ, s: &SecretPoly) -> PolyQ {
     let mut acc = [0u16; N];
@@ -402,6 +460,7 @@ mod tests {
             Fault::HsIIBorrowRepairDropped,
             Fault::LwWrapSignDropped,
             Fault::LwSecretSignIgnored,
+            Fault::SwarCarryRepairDropped,
         ] {
             let mut mutant = FaultyMultiplier::new(fault);
             assert_eq!(
@@ -448,5 +507,20 @@ mod tests {
     fn secret_bounds_follow_the_parent() {
         assert_eq!(Fault::HsIICarryFixDropped.secret_bound(), 4);
         assert_eq!(Fault::HsIMuxSelectFlip.secret_bound(), 5);
+        assert_eq!(Fault::SwarCarryRepairDropped.secret_bound(), 5);
+    }
+
+    #[test]
+    fn swar_mutant_is_clean_on_positive_secrets_only() {
+        // With no negative coefficients there are no complement rows,
+        // hence no inter-lane carries to repair: the mutant must agree
+        // with the oracle — the fuzzer needs mixed-sign cases to see it.
+        let a = PolyQ::from_fn(|i| (i as u16).wrapping_mul(4099) & 0x1fff);
+        let positive = SecretPoly::from_fn(|i| ((i * 3) % 6) as i8);
+        let mut mutant = FaultyMultiplier::new(Fault::SwarCarryRepairDropped);
+        assert_eq!(
+            mutant.multiply(&a, &positive),
+            schoolbook::mul_asym(&a, &positive)
+        );
     }
 }

@@ -107,6 +107,26 @@ impl SecretBuckets {
     pub fn nonzero_count(&self) -> usize {
         self.positive.iter().chain(self.negative.iter()).map(Vec::len).sum()
     }
+
+    /// Positions `j` where the secret equals `+value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside `1..=5`.
+    #[must_use]
+    pub fn positions_positive(&self, value: usize) -> &[usize] {
+        &self.positive[value - 1]
+    }
+
+    /// Positions `j` where the secret equals `-value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside `1..=5`.
+    #[must_use]
+    pub fn positions_negative(&self, value: usize) -> &[usize] {
+        &self.negative[value - 1]
+    }
 }
 
 /// Schoolbook multiplier with HS-I-style multiple caching (see the

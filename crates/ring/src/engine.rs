@@ -1,0 +1,128 @@
+//! Hot-path engine selection.
+//!
+//! Two software backends implement the full-magnitude (|s| ≤ 5)
+//! asymmetric multiply fast enough to serve the KEM hot path: the HS-I
+//! mirror ([`CachedSchoolbookMultiplier`]) and the HS-II SWAR mirror
+//! ([`SwarMultiplier`]). [`EngineKind`] names them, parses the
+//! `SABER_ENGINE` environment variable, and builds boxed shards for the
+//! service layer's worker threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use saber_ring::engine::EngineKind;
+//!
+//! let mut shard = EngineKind::Swar.build();
+//! assert_eq!(shard.name(), "swar-packed HS-II mirror (software)");
+//! assert_eq!(EngineKind::parse("swar"), Some(EngineKind::Swar));
+//! assert_eq!(EngineKind::parse("cached"), Some(EngineKind::Cached));
+//! assert_eq!(EngineKind::parse("ntt"), None);
+//! ```
+
+use crate::cached::CachedSchoolbookMultiplier;
+use crate::mul::PolyMultiplier;
+use crate::swar::SwarMultiplier;
+
+/// Environment variable consulted by [`EngineKind::from_env`].
+pub const ENGINE_ENV: &str = "SABER_ENGINE";
+
+/// Which multiplier backend serves the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// HS-I mirror: multiple caching + bucket scans (the default).
+    #[default]
+    Cached,
+    /// HS-II mirror: SWAR lane packing + complement rows.
+    Swar,
+}
+
+impl EngineKind {
+    /// Every selectable engine.
+    pub const ALL: [EngineKind; 2] = [EngineKind::Cached, EngineKind::Swar];
+
+    /// Parses an engine label (`"cached"` or `"swar"`, case-insensitive).
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Self> {
+        match label.trim().to_ascii_lowercase().as_str() {
+            "cached" | "hs1" => Some(EngineKind::Cached),
+            "swar" | "hs2" => Some(EngineKind::Swar),
+            _ => None,
+        }
+    }
+
+    /// Reads `SABER_ENGINE` (default [`EngineKind::Cached`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is set to an unknown engine label, so a
+    /// typo in a CI matrix fails loudly instead of silently benchmarking
+    /// the wrong backend.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(ENGINE_ENV) {
+            Ok(label) => Self::parse(&label).unwrap_or_else(|| {
+                panic!("{ENGINE_ENV}={label:?}: unknown engine (expected \"cached\" or \"swar\")")
+            }),
+            Err(_) => EngineKind::default(),
+        }
+    }
+
+    /// The canonical parseable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Cached => "cached",
+            EngineKind::Swar => "swar",
+        }
+    }
+
+    /// Builds a fresh boxed shard of this engine — the form the service
+    /// layer hands each worker thread.
+    #[must_use]
+    pub fn build(self) -> Box<dyn PolyMultiplier + Send> {
+        match self {
+            EngineKind::Cached => Box::new(CachedSchoolbookMultiplier::new()),
+            EngineKind::Swar => Box::new(SwarMultiplier::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schoolbook;
+    use crate::{PolyQ, SecretPoly};
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(kind.label()), Some(kind));
+            assert_eq!(EngineKind::parse(&kind.label().to_uppercase()), Some(kind));
+        }
+        assert_eq!(EngineKind::parse("  swar "), Some(EngineKind::Swar));
+        assert_eq!(EngineKind::parse(""), None);
+        assert_eq!(EngineKind::parse("toom"), None);
+    }
+
+    #[test]
+    fn every_engine_builds_a_working_shard() {
+        let a = PolyQ::from_fn(|i| (29 * i as u16) & 0x1fff);
+        let s = SecretPoly::from_fn(|i| ((i % 11) as i8) - 5);
+        let expected = schoolbook::mul_asym(&a, &s);
+        for kind in EngineKind::ALL {
+            let mut shard = kind.build();
+            assert_eq!(shard.multiply(&a, &s), expected, "engine {kind}");
+        }
+    }
+
+    #[test]
+    fn default_is_cached() {
+        assert_eq!(EngineKind::default(), EngineKind::Cached);
+    }
+}

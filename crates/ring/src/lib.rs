@@ -17,6 +17,10 @@
 //! * [`cached`] — the schoolbook algorithm restructured the way the
 //!   paper's HS-I architecture computes it (multiple caching + secret
 //!   value buckets), the fast software path behind batched mat-vec;
+//! * [`swar`] — the paper's HS-II sub-word packing transposed onto
+//!   64-bit words (two coefficients per `u64`, conditional negation via
+//!   lane complements, explicit middle-carry repair), selectable as the
+//!   hot-path engine via [`engine::EngineKind`];
 //! * [`karatsuba`] — recursive Karatsuba, including the fully-unrolled
 //!   8-level variant used by the high-performance design of Zhu et al.;
 //! * [`toom`] — Toom-Cook 4-way, the multiplier of the original Saber
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod cached;
+pub mod engine;
 pub mod karatsuba;
 pub mod matrix;
 pub mod modulus;
@@ -55,11 +60,14 @@ pub mod poly;
 pub mod rounding;
 pub mod schoolbook;
 pub mod secret;
+pub mod swar;
 pub mod toom;
 
 pub use cached::CachedSchoolbookMultiplier;
+pub use engine::EngineKind;
 pub use matrix::{PolyMatrix, PolyVec, SecretVec};
 pub use modulus::{EPS_P, EPS_Q, N, P, Q};
 pub use mul::PolyMultiplier;
 pub use poly::{Poly, PolyP, PolyQ};
 pub use secret::SecretPoly;
+pub use swar::SwarMultiplier;

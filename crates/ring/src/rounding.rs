@@ -43,14 +43,36 @@ pub const fn h2(eps_t: u32) -> u16 {
 pub fn scale_round<const FROM: u32, const TO: u32>(poly: &Poly<FROM>) -> Poly<TO> {
     assert!(TO < FROM, "rounding must reduce the modulus");
     let rounding = 1u16 << (FROM - TO - 1);
-    Poly::<TO>::from_fn(|i| poly.coeff(i).wrapping_add(rounding) >> (FROM - TO))
+    Poly::<TO>::from_fn(|i| {
+        let c = poly.coeff(i);
+        debug_assert!(
+            c <= Poly::<FROM>::MASK,
+            "coefficient {c} outside the mod-2^{FROM} domain"
+        );
+        // Reduce to the FROM-bit residue *before* adding and again
+        // before shifting: the rounding identity `(c + h) mod 2^FROM >>
+        // d` only holds for canonical residues, and an unmasked
+        // coefficient ≥ 2^FROM would otherwise leak its high bits into
+        // the shifted value. The add wraps mod 2^16 (intentional — the
+        // mask right after reduces it mod 2^FROM, which divides 2^16).
+        ((c & Poly::<FROM>::MASK).wrapping_add(rounding) & Poly::<FROM>::MASK) >> (FROM - TO)
+    })
 }
 
 /// Truncating (floor) scaling, without the centering constant.
 #[must_use]
 pub fn scale_floor<const FROM: u32, const TO: u32>(poly: &Poly<FROM>) -> Poly<TO> {
     assert!(TO < FROM, "scaling must reduce the modulus");
-    Poly::<TO>::from_fn(|i| poly.coeff(i) >> (FROM - TO))
+    Poly::<TO>::from_fn(|i| {
+        let c = poly.coeff(i);
+        debug_assert!(
+            c <= Poly::<FROM>::MASK,
+            "coefficient {c} outside the mod-2^{FROM} domain"
+        );
+        // Same domain guard as `scale_round`: floor of the canonical
+        // residue, not of whatever high bits an unmasked value carries.
+        (c & Poly::<FROM>::MASK) >> (FROM - TO)
+    })
 }
 
 #[cfg(test)]
@@ -85,6 +107,42 @@ mod tests {
         let x = PolyQ::from_fn(|_| 8191);
         let rounded: PolyP = scale_round(&x);
         assert_eq!(rounded.coeff(0), 0);
+    }
+
+    #[test]
+    fn full_u16_range_matches_reference_for_every_saber_pair() {
+        // Property test over every 16-bit input pattern, for each
+        // (FROM, TO) pair Saber uses: the ε_q → ε_p compression of b/b'
+        // and the ε_p → ε_T message compressions of all three parameter
+        // sets (plus the 1-bit message extraction). The reference is
+        // computed in u32 where nothing can wrap.
+        fn check<const FROM: u32, const TO: u32>() {
+            let mask = (1u32 << FROM) - 1;
+            let h = 1u32 << (FROM - TO - 1);
+            for base in (0..=u16::MAX).step_by(256) {
+                let x = Poly::<FROM>::from_fn(|i| base + i as u16);
+                let rounded = scale_round::<FROM, TO>(&x);
+                let floored = scale_floor::<FROM, TO>(&x);
+                for i in 0..crate::modulus::N {
+                    let v = u32::from(base + i as u16) & mask;
+                    assert_eq!(
+                        u32::from(rounded.coeff(i)),
+                        ((v + h) & mask) >> (FROM - TO),
+                        "round {FROM}->{TO}, input {v}"
+                    );
+                    assert_eq!(
+                        u32::from(floored.coeff(i)),
+                        v >> (FROM - TO),
+                        "floor {FROM}->{TO}, input {v}"
+                    );
+                }
+            }
+        }
+        check::<13, 10>(); // ε_q → ε_p (keygen/encrypt b, b')
+        check::<10, 3>(); // LightSaber ε_T
+        check::<10, 4>(); // Saber ε_T
+        check::<10, 6>(); // FireSaber ε_T
+        check::<10, 1>(); // message bit extraction
     }
 
     #[test]

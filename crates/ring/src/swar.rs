@@ -1,0 +1,681 @@
+//! Software SWAR (SIMD-within-a-register) mirror of the HS-II packed
+//! multiplier (§3.2 of the paper).
+//!
+//! HS-II packs two public and two secret coefficients per DSP operand
+//! (`A = ±a0 + a1·2^15`, `S = s0 + s1·2^15`) so one 26×17 multiply
+//! yields **four coefficient MACs**, with a one-bit correction network
+//! repairing the carry/borrow that the middle partial product leaks
+//! into the third field. [`SwarMultiplier`] transposes the same three
+//! ideas onto a 64-bit CPU word:
+//!
+//! 1. **Sub-word packing** — two 13-bit public coefficients ride in one
+//!    `u64` at bit offsets 0 and 32 ([`WORDS`] = 128 words per
+//!    polynomial), and the accumulator holds the `2N` pre-fold
+//!    coefficients as two 32-bit lanes per word. One pair-magnitude
+//!    multiply `w · (v + v'·2^16)` against a packed word produces the
+//!    products `v·a0`, `v'·a0`, `v·a1`, `v'·a1` in four disjoint 16-bit
+//!    fields — four coefficient MACs per 64-bit multiply, the HS-II
+//!    ratio — so the magnitude-row cache is built two rows per multiply
+//!    pass.
+//! 2. **Conditional negation** — a negative secret coefficient does not
+//!    subtract: it *adds the bitwise complement* of the cached row
+//!    (`!word` complements both 32-bit lanes at once, the software form
+//!    of HS-II's sign-planned `±a0` operand inversion). The deferred
+//!    `+1` that turns one's complement into a true negation is settled
+//!    per lane at decode time from a count of negative contributions.
+//! 3. **Middle-carry repair** — complement lanes wrap the 32-bit lane
+//!    boundary: each negative contribution adds `2^32 − 1 − v` to the
+//!    low lane, so the low lane's running sum overflows into the high
+//!    lane exactly `C_lo − [S'_lo < 0]` times, where `C_lo` counts the
+//!    negative contributions covering the low coefficient and `S'_lo`
+//!    is the low lane's centered value. The decode pass subtracts that
+//!    carry from the high lane before reading it — the software
+//!    analogue of HS-II's third-field correction. Dropping this repair
+//!    is the seeded fault `SwarCarryRepairDropped` in `saber-core`,
+//!    which the differential fuzzer is CI-gated to catch.
+//!
+//! ## Renormalization
+//!
+//! Reading a lane as a centered `i32` is only sound while the true lane
+//! sum stays inside `±2^31`. One contribution moves a lane by at most
+//! `5·8191` (positive row) or `−(5·8191 + 1)` (complement row), so the
+//! accumulator spills its lanes into a wide `i64` side buffer every
+//! [`RENORM_PERIOD`] = 32 768 contributions:
+//!
+//! ```text
+//! 32 768 · (5·8191 + 1)  =  1 342 046 208  <  2^31 = 2 147 483 648
+//! ```
+//!
+//! (checked at compile time below). A single product issues at most
+//! `N = 256` contributions and never renormalizes; the streaming
+//! [`SwarMultiplier::accumulate`] path — fused sums of many products —
+//! is what crosses the boundary, and a long-stream test drives it.
+//!
+//! ## Cost model
+//!
+//! Per contribution the scan adds 128 (even offset) or 129 (odd offset)
+//! plain `u64` words — two coefficients per add — against the 256
+//! one-coefficient `i64` adds of
+//! [`CachedSchoolbookMultiplier`](crate::cached::CachedSchoolbookMultiplier),
+//! halving the hot-loop traffic; the `swar_throughput` bench records
+//! the measured mat-vec ratio in `BENCH_swar.json`.
+
+use crate::cached::SecretBuckets;
+use crate::modulus::N;
+use crate::mul::PolyMultiplier;
+use crate::poly::PolyQ;
+use crate::secret::{SecretPoly, MAX_SECRET_MAGNITUDE};
+
+/// Number of distinct nonzero secret magnitudes (1 ..= 5).
+const VALUES: usize = MAX_SECRET_MAGNITUDE as usize;
+
+/// Packed words per polynomial: two 13-bit coefficients per `u64`, at
+/// bit offsets 0 and 32.
+pub const WORDS: usize = N / 2;
+
+/// Accumulator words: the `2N` pre-fold coefficients, two lanes each.
+const ACC_WORDS: usize = N;
+
+/// Mask selecting the two even-coefficient 16-bit product fields of a
+/// pair-magnitude multiply (bits 0..16 and 32..48).
+const FIELD_MASK: u64 = 0x0000_ffff_0000_ffff;
+
+/// Contributions the accumulator absorbs before spilling its lanes into
+/// the wide side buffer (see the module docs for the bound).
+pub const RENORM_PERIOD: u32 = 32_768;
+
+/// Largest magnitude one contribution can move a lane's centered value:
+/// a positive row adds at most `5·8191`, a complement row `−(5·8191+1)`.
+const MAX_LANE_STEP: u64 = 5 * 8191 + 1;
+
+// Compile-time renormalization proof: RENORM_PERIOD contributions keep
+// every true lane sum strictly inside the signed 32-bit read window.
+const _: () = assert!((RENORM_PERIOD as u64) * MAX_LANE_STEP < 1 << 31);
+
+/// The cached magnitude rows of one packed public operand.
+///
+/// `even[(v-1)·WORDS ..]` holds the word-aligned row `v·a` (lane `2k` =
+/// `v·a[2k]`, lane `2k+1` = `v·a[2k+1]`); `odd` holds the same row
+/// pre-shifted one lane for odd secret offsets (129 words, with zero
+/// phantom lanes at both ends); `neg_even`/`neg_odd` are the lane-wise
+/// complements used by the conditional-negation trick.
+#[derive(Debug, Clone)]
+struct RowCache {
+    packed: [u64; WORDS],
+    even: Vec<u64>,
+    odd: Vec<u64>,
+    neg_even: Vec<u64>,
+    neg_odd: Vec<u64>,
+}
+
+impl RowCache {
+    fn new() -> Self {
+        Self {
+            packed: [0; WORDS],
+            even: vec![0; VALUES * WORDS],
+            odd: vec![0; VALUES * (WORDS + 1)],
+            neg_even: vec![0; VALUES * WORDS],
+            neg_odd: vec![0; VALUES * (WORDS + 1)],
+        }
+    }
+
+    /// (Re)builds the rows for magnitudes `1..=max_value` of `public`.
+    fn build(&mut self, public: &PolyQ, max_value: usize) {
+        for (k, word) in self.packed.iter_mut().enumerate() {
+            *word = u64::from(public.coeff(2 * k)) | (u64::from(public.coeff(2 * k + 1)) << 32);
+        }
+
+        // Pair-magnitude multiplies: `w · (v + v'·2^16)` lands `v·a0`,
+        // `v'·a0`, `v·a1`, `v'·a1` in four disjoint 16-bit fields (every
+        // product ≤ 5·8191 = 40955 < 2^16), so each 64-bit multiply
+        // fills one word of TWO magnitude rows — 4 coefficient MACs per
+        // multiply, mirroring the HS-II DSP packing ratio.
+        let (rows1, rest) = self.even.split_at_mut(WORDS);
+        let (rows2, rest) = rest.split_at_mut(WORDS);
+        let (rows3, rest) = rest.split_at_mut(WORDS);
+        let (rows4, rows5) = rest.split_at_mut(WORDS);
+        for (k, &w) in self.packed.iter().enumerate() {
+            let p = w * (1 + (2 << 16));
+            rows1[k] = p & FIELD_MASK;
+            rows2[k] = (p >> 16) & FIELD_MASK;
+            if max_value >= 3 {
+                let p = w * (3 + (4 << 16));
+                rows3[k] = p & FIELD_MASK;
+                rows4[k] = (p >> 16) & FIELD_MASK;
+            }
+        }
+        if max_value >= 5 {
+            // 5·a = 4·a + 1·a lane-wise: both fields stay < 2^16, so the
+            // word addition cannot carry across field boundaries.
+            for (r5, (&r4, &r1)) in rows5.iter_mut().zip(rows4.iter().zip(rows1.iter())) {
+                *r5 = r4 + r1;
+            }
+        }
+
+        // Complement rows: `!word` complements both 32-bit lanes at
+        // once — lane value `2^32 − 1 − v`, i.e. `−(v + 1) mod 2^32`.
+        // The deferred `+1` per lane is settled at decode time.
+        for (n, &e) in self.neg_even[..max_value * WORDS]
+            .iter_mut()
+            .zip(self.even[..max_value * WORDS].iter())
+        {
+            *n = !e;
+        }
+
+        // Odd-offset rows: shift each row one 32-bit lane so an odd
+        // secret offset still lands on whole-word adds. The boundary
+        // words keep zero phantom lanes (positions outside the
+        // contribution get no value and no negative-count credit).
+        for v in 0..max_value {
+            let src = v * WORDS;
+            let dst = v * (WORDS + 1);
+            shift_one_lane(
+                &self.even[src..src + WORDS],
+                &mut self.odd[dst..dst + WORDS + 1],
+            );
+            shift_one_lane(
+                &self.neg_even[src..src + WORDS],
+                &mut self.neg_odd[dst..dst + WORDS + 1],
+            );
+        }
+    }
+
+    fn row(&self, value: usize, odd: bool, negative: bool) -> &[u64] {
+        match (odd, negative) {
+            (false, false) => &self.even[(value - 1) * WORDS..value * WORDS],
+            (false, true) => &self.neg_even[(value - 1) * WORDS..value * WORDS],
+            (true, false) => &self.odd[(value - 1) * (WORDS + 1)..value * (WORDS + 1)],
+            (true, true) => &self.neg_odd[(value - 1) * (WORDS + 1)..value * (WORDS + 1)],
+        }
+    }
+}
+
+/// `dst[u] = src[u-1].hi | src[u].lo << 32` — the one-lane shift that
+/// aligns a word-packed row to an odd coefficient offset.
+fn shift_one_lane(src: &[u64], dst: &mut [u64]) {
+    let mut prev = 0u64;
+    for (d, &s) in dst[..src.len()].iter_mut().zip(src.iter()) {
+        *d = (prev >> 32) | (s << 32);
+        prev = s;
+    }
+    dst[src.len()] = prev >> 32;
+}
+
+/// The lane accumulator: `2N` coefficients as `N` `u64` words (low lane
+/// = even coefficient, high lane = odd), a difference array counting
+/// negative-contribution coverage, and the wide spill buffer fed by
+/// renormalization.
+#[derive(Debug, Clone)]
+struct SwarAccumulator {
+    words: Vec<u64>,
+    /// `neg_diff[j] += 1, neg_diff[j+N] −= 1` per negative contribution
+    /// at offset `j`; the prefix sum is the per-position count `C`.
+    neg_diff: Vec<i32>,
+    contributions: u32,
+    spill: Vec<i64>,
+    spilled: bool,
+}
+
+impl SwarAccumulator {
+    fn new() -> Self {
+        Self {
+            words: vec![0; ACC_WORDS],
+            neg_diff: vec![0; 2 * N],
+            contributions: 0,
+            spill: vec![0; 2 * N],
+            spilled: false,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.words.fill(0);
+        self.neg_diff.fill(0);
+        self.contributions = 0;
+        if self.spilled {
+            self.spill.fill(0);
+            self.spilled = false;
+        }
+    }
+
+    /// Adds one row contribution at secret offset `j`.
+    fn add(&mut self, j: usize, row: &[u64], negative: bool) {
+        if self.contributions == RENORM_PERIOD {
+            self.renormalize();
+        }
+        self.contributions += 1;
+        if negative {
+            self.neg_diff[j] += 1;
+            self.neg_diff[j + N] -= 1;
+        }
+        for (slot, &r) in self.words[j / 2..j / 2 + row.len()].iter_mut().zip(row) {
+            // Intentionally modulo 2^64: low-lane carries travel into
+            // the high lane (repaired at decode) and high-lane carries
+            // fall off the word (lanes are read modulo 2^32).
+            *slot = slot.wrapping_add(r);
+        }
+    }
+
+    /// Decodes every lane — applying the deferred `+C` negation
+    /// completion and the inter-lane carry repair — and *adds* the true
+    /// coefficient sums into `out` (length `2N`).
+    fn decode_into(&self, out: &mut [i64]) {
+        let mut count = 0i32;
+        for (w, &word) in self.words.iter().enumerate() {
+            count += self.neg_diff[2 * w];
+            let c_lo = count;
+            let lo_prime = word as u32 as i32;
+            // One's-complement completion: C_lo deferred +1s.
+            let s_lo = i64::from(lo_prime) + i64::from(c_lo);
+            // Middle-carry repair: the low lane's unsigned total is
+            // S'_lo + 2^32·C_lo, so exactly C_lo − [S'_lo < 0] carries
+            // crossed into the high lane.
+            let carries = c_lo - i32::from(lo_prime < 0);
+            count += self.neg_diff[2 * w + 1];
+            let c_hi = count;
+            let hi_prime = ((word >> 32) as u32).wrapping_sub(carries as u32) as i32;
+            let s_hi = i64::from(hi_prime) + i64::from(c_hi);
+            out[2 * w] += s_lo;
+            out[2 * w + 1] += s_hi;
+        }
+    }
+
+    /// Spills the current lanes into the wide buffer and clears them,
+    /// restoring the full `±2^31` headroom.
+    fn renormalize(&mut self) {
+        saber_trace::counter("ring", "swar.renorm", 1);
+        let mut spill = std::mem::take(&mut self.spill);
+        self.decode_into(&mut spill);
+        self.spill = spill;
+        self.spilled = true;
+        self.words.fill(0);
+        self.neg_diff.fill(0);
+        self.contributions = 0;
+    }
+
+    /// Reads the accumulated `2N` coefficient sums into `out` and
+    /// resets the accumulator.
+    fn drain_into(&mut self, out: &mut [i64]) {
+        out.fill(0);
+        if self.spilled {
+            for (o, &s) in out.iter_mut().zip(self.spill.iter()) {
+                *o = s;
+            }
+        }
+        self.decode_into(out);
+        self.reset();
+    }
+}
+
+/// The SWAR packed multiplier (see the module docs for the design).
+///
+/// Owns its row cache, lane accumulator and scratch buffers, so
+/// repeated calls allocate nothing beyond the returned product.
+///
+/// # Examples
+///
+/// ```
+/// use saber_ring::swar::SwarMultiplier;
+/// use saber_ring::mul::{PolyMultiplier, SchoolbookMultiplier};
+/// use saber_ring::{PolyQ, SecretPoly};
+///
+/// let a = PolyQ::from_fn(|i| (37 * i as u16) & 0x1fff);
+/// let s = SecretPoly::from_fn(|i| ((i % 11) as i8) - 5);
+/// let mut swar = SwarMultiplier::new();
+/// assert_eq!(swar.multiply(&a, &s), SchoolbookMultiplier.multiply(&a, &s));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwarMultiplier {
+    rows: RowCache,
+    acc: SwarAccumulator,
+    /// `2N`-wide decode target, reused across products.
+    wide: Vec<i64>,
+    /// Decomposition scratch for the single-product path.
+    scratch: SecretBuckets,
+}
+
+impl Default for SwarMultiplier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SwarMultiplier {
+    /// Creates a multiplier with preallocated scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            rows: RowCache::new(),
+            acc: SwarAccumulator::new(),
+            wide: vec![0; 2 * N],
+            scratch: SecretBuckets::default(),
+        }
+    }
+
+    /// Multiplies `public` by a secret already decomposed into
+    /// `buckets` — the amortizable core of the batch path.
+    pub fn multiply_decomposed(&mut self, public: &PolyQ, buckets: &SecretBuckets) -> PolyQ {
+        self.accumulate_decomposed(public, buckets);
+        self.take_accumulated()
+    }
+
+    /// Fused multiply-accumulate: adds `public · secret` into the
+    /// internal accumulator without folding. Streams longer than
+    /// [`RENORM_PERIOD`] contributions renormalize transparently.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use saber_ring::swar::SwarMultiplier;
+    /// use saber_ring::{schoolbook, PolyQ, SecretPoly};
+    ///
+    /// let a = PolyQ::from_fn(|i| i as u16);
+    /// let s = SecretPoly::from_fn(|i| ((i % 9) as i8) - 4);
+    /// let mut swar = SwarMultiplier::new();
+    /// swar.accumulate(&a, &s);
+    /// swar.accumulate(&a, &s);
+    /// let expected = &schoolbook::mul_asym(&a, &s) + &schoolbook::mul_asym(&a, &s);
+    /// assert_eq!(swar.take_accumulated(), expected);
+    /// ```
+    pub fn accumulate(&mut self, public: &PolyQ, secret: &SecretPoly) {
+        let mut buckets = std::mem::take(&mut self.scratch);
+        buckets.decompose(secret);
+        self.accumulate_decomposed(public, &buckets);
+        self.scratch = buckets;
+    }
+
+    /// Fused multiply-accumulate against a pre-decomposed secret.
+    pub fn accumulate_decomposed(&mut self, public: &PolyQ, buckets: &SecretBuckets) {
+        let max_value = buckets.max_value();
+        if max_value == 0 {
+            return;
+        }
+        self.rows.build(public, max_value);
+        saber_trace::counter("ring", "swar.rows_built", 1);
+        let rows = &self.rows;
+        let acc = &mut self.acc;
+        for v in 1..=max_value {
+            for &j in buckets.positions_positive(v) {
+                acc.add(j, rows.row(v, j % 2 == 1, false), false);
+            }
+            for &j in buckets.positions_negative(v) {
+                acc.add(j, rows.row(v, j % 2 == 1, true), true);
+            }
+        }
+    }
+
+    /// Folds the accumulated sum back into the ring (`x^N = −1`),
+    /// returning it and resetting the accumulator.
+    #[must_use]
+    pub fn take_accumulated(&mut self) -> PolyQ {
+        let mut wide = std::mem::take(&mut self.wide);
+        self.acc.drain_into(&mut wide);
+        let mut folded = [0i64; N];
+        for (k, out) in folded.iter_mut().enumerate() {
+            *out = wide[k] - wide[k + N];
+        }
+        self.wide = wide;
+        PolyQ::from_signed(&folded)
+    }
+}
+
+impl PolyMultiplier for SwarMultiplier {
+    fn multiply(&mut self, public: &PolyQ, secret: &SecretPoly) -> PolyQ {
+        let _span = saber_trace::span("ring", "swar.multiply");
+        let mut buckets = std::mem::take(&mut self.scratch);
+        buckets.decompose(secret);
+        let product = self.multiply_decomposed(public, &buckets);
+        self.scratch = buckets;
+        product
+    }
+
+    fn multiply_batch(&mut self, ops: &[(&PolyQ, &SecretPoly)]) -> Vec<PolyQ> {
+        let _span = saber_trace::span("ring", "swar.multiply_batch");
+        // Decompose each distinct secret exactly once (same dedup policy
+        // as the HS-I mirror: pointer identity first, value fallback).
+        let mut decomposed: Vec<(&SecretPoly, SecretBuckets)> = Vec::new();
+        let mut out = Vec::with_capacity(ops.len());
+        for &(public, secret) in ops {
+            let index = match decomposed
+                .iter()
+                .position(|(known, _)| std::ptr::eq(*known, secret) || *known == secret)
+            {
+                Some(index) => {
+                    saber_trace::counter("ring", "swar.bucket_hit", 1);
+                    index
+                }
+                None => {
+                    saber_trace::counter("ring", "swar.bucket_miss", 1);
+                    let mut buckets = SecretBuckets::default();
+                    buckets.decompose(secret);
+                    decomposed.push((secret, buckets));
+                    decomposed.len() - 1
+                }
+            };
+            out.push(self.multiply_decomposed(public, &decomposed[index].1));
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "swar-packed HS-II mirror (software)"
+    }
+}
+
+// Compile-time proof the SWAR state can move into worker threads (the
+// service layer boxes one shard per worker).
+const _: () = {
+    const fn assert_send<T: Send + 'static>() {}
+    assert_send::<SwarMultiplier>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schoolbook;
+
+    fn poly(seed: u16) -> PolyQ {
+        PolyQ::from_fn(|i| (i as u16).wrapping_mul(seed) ^ (seed << 3))
+    }
+
+    fn secret(seed: i8) -> SecretPoly {
+        SecretPoly::from_fn(|i| (((i as i16).wrapping_mul(seed as i16 + 3) % 11) - 5) as i8)
+    }
+
+    #[test]
+    fn matches_schoolbook_oracle() {
+        let mut swar = SwarMultiplier::new();
+        for seed in [1u16, 77, 1023, 4097, 8191] {
+            let a = poly(seed);
+            let s = secret((seed % 7) as i8);
+            assert_eq!(
+                swar.multiply(&a, &s),
+                schoolbook::mul_asym(&a, &s),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn monomial_secrets_hit_every_offset_and_sign() {
+        // x^j at even and odd offsets, both signs, all magnitudes: every
+        // row variant (even/odd × positive/complement) and both fold
+        // edges are exercised.
+        let mut swar = SwarMultiplier::new();
+        let a = poly(4242);
+        for j in [0usize, 1, 2, 127, 128, 253, 254, 255] {
+            for m in 1i8..=5 {
+                for sign in [1i8, -1] {
+                    let s = SecretPoly::from_fn(|k| if k == j { m * sign } else { 0 });
+                    assert_eq!(
+                        swar.multiply(&a, &s),
+                        schoolbook::mul_asym(&a, &s),
+                        "offset {j}, magnitude {m}, sign {sign}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_publics_with_zero_lanes() {
+        // Zero public coefficients make complement lanes hold
+        // 0xFFFF_FFFF (the −(0+1) one's complement): the deferred +1
+        // must restore them to exact zeros.
+        let mut swar = SwarMultiplier::new();
+        let a = PolyQ::from_fn(|i| if i % 17 == 0 { 8191 } else { 0 });
+        let s = SecretPoly::from_fn(|i| if i % 3 == 0 { -5 } else { 0 });
+        assert_eq!(swar.multiply(&a, &s), schoolbook::mul_asym(&a, &s));
+        let zero_public = PolyQ::zero();
+        let dense_negative = SecretPoly::from_fn(|_| -5);
+        assert_eq!(
+            swar.multiply(&zero_public, &dense_negative),
+            PolyQ::zero(),
+            "all-complement lanes must cancel to zero"
+        );
+    }
+
+    #[test]
+    fn zero_secret_gives_zero_product() {
+        let mut swar = SwarMultiplier::new();
+        assert_eq!(swar.multiply(&poly(99), &SecretPoly::zero()), PolyQ::zero());
+    }
+
+    #[test]
+    fn all_magnitude_bounds_agree_with_oracle() {
+        // Saber (|s| ≤ 4), FireSaber (≤ 3) and LightSaber (≤ 5) shapes.
+        let mut swar = SwarMultiplier::new();
+        let a = poly(31);
+        for bound in 1i8..=5 {
+            let span = 2 * bound as usize + 1;
+            let s = SecretPoly::from_fn(|i| (((i * 7) % span) as i8) - bound);
+            assert_eq!(
+                swar.multiply(&a, &s),
+                schoolbook::mul_asym(&a, &s),
+                "bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_mapped_multiplies() {
+        let mut swar = SwarMultiplier::new();
+        let publics: Vec<PolyQ> = (0..6).map(|k| poly(300 + k)).collect();
+        let s0 = secret(1);
+        let s1 = secret(2);
+        let ops: Vec<(&PolyQ, &SecretPoly)> = publics
+            .iter()
+            .enumerate()
+            .map(|(k, a)| (a, if k % 2 == 0 { &s0 } else { &s1 }))
+            .collect();
+        let batched = swar.multiply_batch(&ops);
+        for (k, (a, s)) in ops.iter().enumerate() {
+            assert_eq!(batched[k], schoolbook::mul_asym(a, s), "pair {k}");
+        }
+    }
+
+    #[test]
+    fn batch_counters_record_hits_and_misses() {
+        let session = saber_trace::start();
+        saber_trace::instant_event("test", "sentinel.swar");
+        let mut swar = SwarMultiplier::new();
+        let publics: Vec<PolyQ> = (0..6).map(|k| poly(500 + k)).collect();
+        let s0 = secret(1);
+        let s1 = secret(2);
+        let ops: Vec<(&PolyQ, &SecretPoly)> = publics
+            .iter()
+            .enumerate()
+            .map(|(k, a)| (a, if k % 2 == 0 { &s0 } else { &s1 }))
+            .collect();
+        let _ = swar.multiply_batch(&ops);
+        let trace = session.finish();
+        let tid = trace
+            .events()
+            .iter()
+            .find(|e| e.name == "sentinel.swar")
+            .expect("sentinel recorded")
+            .tid;
+        let total = |name: &str| -> i64 {
+            trace
+                .events()
+                .iter()
+                .filter(|e| e.tid == tid && e.name == name)
+                .filter_map(|e| match e.kind {
+                    saber_trace::EventKind::Counter { value, .. } => Some(value),
+                    _ => None,
+                })
+                .sum()
+        };
+        assert_eq!(total("swar.bucket_miss"), 2);
+        assert_eq!(total("swar.bucket_hit"), 4);
+        assert_eq!(total("swar.rows_built"), 6);
+    }
+
+    #[test]
+    fn streaming_accumulation_crosses_renorm_boundary() {
+        // 300 dense products ≈ 76 800 contributions: at least two
+        // renormalization spills, verified against the mod-q sum of the
+        // schoolbook products (and the spill path must be exact).
+        let session = saber_trace::start();
+        saber_trace::instant_event("test", "sentinel.renorm");
+        let mut swar = SwarMultiplier::new();
+        let mut expected = PolyQ::zero();
+        let a = poly(911);
+        let s = secret(4);
+        let one_product = schoolbook::mul_asym(&a, &s);
+        for _ in 0..300 {
+            swar.accumulate(&a, &s);
+            expected += &one_product;
+        }
+        assert_eq!(swar.take_accumulated(), expected);
+        let trace = session.finish();
+        let tid = trace
+            .events()
+            .iter()
+            .find(|e| e.name == "sentinel.renorm")
+            .expect("sentinel recorded")
+            .tid;
+        let renorms: i64 = trace
+            .events()
+            .iter()
+            .filter(|e| e.tid == tid && e.name == "swar.renorm")
+            .filter_map(|e| match e.kind {
+                saber_trace::EventKind::Counter { value, .. } => Some(value),
+                _ => None,
+            })
+            .sum();
+        assert!(renorms >= 2, "expected ≥ 2 renormalizations, saw {renorms}");
+    }
+
+    #[test]
+    fn accumulator_state_does_not_leak_between_products() {
+        let mut swar = SwarMultiplier::new();
+        let _ = swar.multiply(&poly(7001), &secret(5));
+        let sparse = SecretPoly::from_fn(|k| -i8::from(k == 3));
+        let a = poly(12);
+        assert_eq!(swar.multiply(&a, &sparse), schoolbook::mul_asym(&a, &sparse));
+    }
+
+    #[test]
+    fn pair_magnitude_rows_are_exact() {
+        // The packed cache build must equal the scalar rows v·a for
+        // every magnitude, including row 5 (the lane-wise 4a + a sum).
+        let a = poly(8190);
+        let mut rows = RowCache::new();
+        rows.build(&a, 5);
+        for v in 1usize..=5 {
+            let row = rows.row(v, false, false);
+            for (k, &word) in row.iter().enumerate().take(WORDS) {
+                assert_eq!(
+                    word & 0xffff_ffff,
+                    v as u64 * u64::from(a.coeff(2 * k)),
+                    "even lane, v={v}, k={k}"
+                );
+                assert_eq!(
+                    word >> 32,
+                    v as u64 * u64::from(a.coeff(2 * k + 1)),
+                    "odd lane, v={v}, k={k}"
+                );
+            }
+        }
+    }
+}

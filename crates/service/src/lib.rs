@@ -30,7 +30,8 @@
 //! use saber_kem::params::SABER;
 //! use saber_service::{KemService, ServiceConfig};
 //!
-//! let service = KemService::spawn(&ServiceConfig { workers: 2, queue_capacity: 8 });
+//! let config = ServiceConfig { workers: 2, queue_capacity: 8, ..ServiceConfig::default() };
+//! let service = KemService::spawn(&config);
 //! let (pk, _sk) = service.submit_keygen(&SABER, [1; 32]).unwrap().wait().unwrap();
 //! let (_ct, ss) = service.submit_encaps(pk, [2; 32]).unwrap().wait().unwrap();
 //! let report = service.shutdown();

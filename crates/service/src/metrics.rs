@@ -184,6 +184,9 @@ impl Metrics {
     /// feeds the combined per-op histogram.
     pub fn record_completed(&self, op: OpKind, wait_ns: u64, exec_ns: u64) {
         self.completed.fetch_add(1, Ordering::Relaxed);
+        // Saturating, not wrapping: latencies are measurements, not
+        // residues — on (absurd) overflow we want the clamp at u64::MAX
+        // to land in the top histogram bucket, never a tiny wrapped value.
         self.ops[op.index()].record(wait_ns.saturating_add(exec_ns));
         self.queue_wait[op.index()].record(wait_ns);
         self.execute[op.index()].record(exec_ns);

@@ -6,16 +6,18 @@
 //! ```text
 //!  submitters ──try_push──▶ BoundedQueue ──pop──▶ worker 0 ─┐ owns shard 0
 //!      │ (reject when full)     │                worker 1 ─┤ owns shard 1   ─▶ JobHandle
-//!      ▼                        ▼                   …      │ (CachedSchoolbook-   .wait()
-//!   SubmitError::QueueFull   metrics              worker N ─┘  Multiplier each)
+//!      ▼                        ▼                   …      │ (one engine-built    .wait()
+//!   SubmitError::QueueFull   metrics              worker N ─┘  multiplier each)
 //! ```
 //!
-//! Each worker owns one [`CachedSchoolbookMultiplier`] shard — the
-//! software analogue of the paper replicating a verified datapath per
-//! compute unit. The shard is worker-local, so the hot path (multiple
-//! caching, bucket scans, Keccak) runs with **no lock held and no
-//! sharing**; the only synchronized structures are the O(1) queue
-//! operations and the one-shot result slots.
+//! Each worker owns one multiplier shard built from the configured
+//! [`EngineKind`] — the cached HS-I mirror by default, or the SWAR
+//! HS-II mirror (`ServiceConfig::engine`, honouring `SABER_ENGINE`) —
+//! the software analogue of the paper replicating a verified datapath
+//! per compute unit. The shard is worker-local, so the hot path
+//! (multiple caching or lane scans, Keccak) runs with **no lock held
+//! and no sharing**; the only synchronized structures are the O(1)
+//! queue operations and the one-shot result slots.
 //!
 //! ## Failure containment
 //!
@@ -39,7 +41,7 @@ use std::time::Instant;
 
 use saber_kem::params::SaberParams;
 use saber_kem::{Ciphertext, KemSecretKey, PublicKey, SharedSecret};
-use saber_ring::{CachedSchoolbookMultiplier, PolyMatrix, PolyVec, SecretVec};
+use saber_ring::{EngineKind, PolyMatrix, PolyMultiplier, PolyVec, SecretVec};
 
 use crate::metrics::{Metrics, OpKind, ServiceReport};
 use crate::queue::{BoundedQueue, PushError};
@@ -51,16 +53,22 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Bounded queue capacity; submissions beyond it are rejected.
     pub queue_capacity: usize,
+    /// Multiplier engine each worker shard is built from (HS-I cached
+    /// mirror or HS-II SWAR mirror; both are oracle-verified).
+    pub engine: EngineKind,
 }
 
 impl Default for ServiceConfig {
     /// Four workers over a 64-deep queue: a deliberately fixed default
     /// (not `available_parallelism`) so behaviour is identical on every
-    /// host; size explicitly for production use.
+    /// host; size explicitly for production use. The engine honours the
+    /// `SABER_ENGINE` environment variable (default: the cached HS-I
+    /// mirror) so CI can sweep the whole test battery per engine.
     fn default() -> Self {
         Self {
             workers: 4,
             queue_capacity: 64,
+            engine: EngineKind::from_env(),
         }
     }
 }
@@ -254,11 +262,12 @@ struct Inner {
     queue: BoundedQueue<Job>,
     metrics: Metrics,
     workers: usize,
+    engine: EngineKind,
 }
 
-/// The concurrent KEM service: a fixed pool of workers, each owning a
-/// [`CachedSchoolbookMultiplier`] shard, fed by a bounded backpressured
-/// queue (see the module docs for the architecture).
+/// The concurrent KEM service: a fixed pool of workers, each owning an
+/// engine-built multiplier shard, fed by a bounded backpressured queue
+/// (see the module docs for the architecture).
 ///
 /// # Examples
 ///
@@ -266,7 +275,8 @@ struct Inner {
 /// use saber_kem::params::SABER;
 /// use saber_service::{KemService, ServiceConfig};
 ///
-/// let service = KemService::spawn(&ServiceConfig { workers: 2, queue_capacity: 16 });
+/// let config = ServiceConfig { workers: 2, queue_capacity: 16, ..ServiceConfig::default() };
+/// let service = KemService::spawn(&config);
 /// let keys = service.submit_keygen(&SABER, [7; 32]).unwrap();
 /// let (pk, sk) = keys.wait().unwrap();
 /// let (ct, ss_enc) = service.submit_encaps(pk, [8; 32]).unwrap().wait().unwrap();
@@ -295,6 +305,7 @@ impl KemService {
             queue: BoundedQueue::new(config.queue_capacity),
             metrics: Metrics::default(),
             workers: config.workers,
+            engine: config.engine,
         });
         let handles = (0..config.workers)
             .map(|i| {
@@ -479,6 +490,16 @@ impl KemService {
         )
     }
 
+    /// Begins shutdown without blocking: closes the queue, so every
+    /// submission that loses the race fails with
+    /// [`SubmitError::ShutDown`] while already-admitted jobs keep
+    /// draining (their handles still resolve). Idempotent; call
+    /// [`shutdown`](Self::shutdown) afterwards to join the workers and
+    /// collect the final report.
+    pub fn begin_shutdown(&self) {
+        self.inner.queue.close();
+    }
+
     /// Graceful shutdown: stops admitting work, drains every admitted
     /// job, joins all workers, and returns the final metrics report.
     #[must_use]
@@ -506,7 +527,7 @@ impl Drop for KemService {
     }
 }
 
-fn run_request(shard: &mut CachedSchoolbookMultiplier, request: Request) -> Response {
+fn run_request(shard: &mut dyn PolyMultiplier, request: Request) -> Response {
     match request {
         Request::Keygen { params, seed } => {
             let (pk, sk) = saber_kem::keygen(params, &seed, shard);
@@ -537,7 +558,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 fn worker_loop(inner: &Inner) {
-    let mut shard = CachedSchoolbookMultiplier::new();
+    let mut shard = inner.engine.build();
     while let Some(job) = inner.queue.pop() {
         let Job {
             request,
@@ -552,7 +573,7 @@ fn worker_loop(inner: &Inner) {
                 .as_nanos(),
         )
         .unwrap_or(u64::MAX);
-        match catch_unwind(AssertUnwindSafe(|| run_request(&mut shard, request))) {
+        match catch_unwind(AssertUnwindSafe(|| run_request(shard.as_mut(), request))) {
             Ok(response) => {
                 let exec_ns =
                     u64::try_from(dequeued.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -580,7 +601,7 @@ fn worker_loop(inner: &Inner) {
             Err(payload) => {
                 // The shard's scratch state is suspect after an unwind
                 // mid-multiplication: rebuild it, fail only this job.
-                shard = CachedSchoolbookMultiplier::new();
+                shard = inner.engine.build();
                 inner.metrics.record_failed_panic();
                 slot.fill(Err(JobError::WorkerPanicked {
                     message: panic_message(payload),

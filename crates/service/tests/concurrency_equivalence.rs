@@ -51,6 +51,7 @@ fn mixed_kem_load_matches_sequential_for_all_sets_and_worker_counts() {
             let service = KemService::spawn(&ServiceConfig {
                 workers,
                 queue_capacity: 16,
+                ..ServiceConfig::default()
             });
             let got = run_service(&plan, &service, 12).expect("load run");
             let report = service.shutdown();
@@ -85,6 +86,7 @@ fn matvec_only_load_matches_sequential() {
             let service = KemService::spawn(&ServiceConfig {
                 workers,
                 queue_capacity: 8,
+                ..ServiceConfig::default()
             });
             let got = run_service(&plan, &service, 8).expect("load run");
             drop(service);
@@ -111,6 +113,7 @@ fn typed_submissions_match_direct_calls() {
         let service = KemService::spawn(&ServiceConfig {
             workers,
             queue_capacity: 8,
+            ..ServiceConfig::default()
         });
         let (pk2, sk2) = service
             .submit_keygen(params, [5; 32])
@@ -146,6 +149,7 @@ fn matvec_handles_resolve_to_backend_products() {
         let service = KemService::spawn(&ServiceConfig {
             workers,
             queue_capacity: 8,
+            ..ServiceConfig::default()
         });
         let handles: Vec<_> = (0..4)
             .map(|_| {

@@ -53,6 +53,7 @@ fn live_snapshots_are_monotone() {
     let service = KemService::spawn(&ServiceConfig {
         workers: 2,
         queue_capacity: 16,
+        ..ServiceConfig::default()
     });
 
     let mut prev = service.report();
@@ -99,6 +100,7 @@ fn service_report_roundtrips_through_json() {
     let service = KemService::spawn(&ServiceConfig {
         workers: 2,
         queue_capacity: 8,
+        ..ServiceConfig::default()
     });
     let (pk, sk) = service
         .submit_keygen(&SABER, [0x71; 32])
@@ -165,6 +167,7 @@ fn malformed_reports_are_rejected_with_field_names() {
     let service = KemService::spawn(&ServiceConfig {
         workers: 1,
         queue_capacity: 4,
+        ..ServiceConfig::default()
     });
     let good = service.shutdown().to_json_string();
     let truncated = good.replacen("\"buckets\": [", "\"buckets\": [7, ", 1);

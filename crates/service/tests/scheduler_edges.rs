@@ -48,6 +48,7 @@ fn empty_batch_shuts_down_clean() {
     let service = KemService::spawn(&ServiceConfig {
         workers: 2,
         queue_capacity: 4,
+        ..ServiceConfig::default()
     });
     let report = service.shutdown();
     assert_eq!(report.submitted, 0);
@@ -66,6 +67,7 @@ fn empty_plan_yields_empty_transcript() {
     let service = KemService::spawn(&ServiceConfig {
         workers: 1,
         queue_capacity: 4,
+        ..ServiceConfig::default()
     });
     let transcript = run_service(&plan, &service, 4).expect("empty run");
     assert!(transcript.is_empty());
@@ -78,6 +80,7 @@ fn full_queue_rejects_then_recovers() {
     let service = KemService::spawn(&ServiceConfig {
         workers: 1,
         queue_capacity: capacity,
+        ..ServiceConfig::default()
     });
     let gate = Arc::new(Gate::new());
 
@@ -130,6 +133,7 @@ fn shutdown_drains_in_flight_jobs() {
     let service = KemService::spawn(&ServiceConfig {
         workers: 1,
         queue_capacity: 8,
+        ..ServiceConfig::default()
     });
     let gate = Arc::new(Gate::new());
     let held = service.submit_hold(Arc::clone(&gate)).expect("hold");
@@ -177,6 +181,7 @@ fn worker_panic_does_not_poison_the_pool() {
     let service = KemService::spawn(&ServiceConfig {
         workers: 1,
         queue_capacity: 8,
+        ..ServiceConfig::default()
     });
 
     let poisoned = service.submit_fault_panic("injected fault").expect("admitted");
@@ -233,6 +238,7 @@ fn panics_do_not_reorder_surviving_jobs() {
     let service = KemService::spawn(&ServiceConfig {
         workers: 1,
         queue_capacity: 8,
+        ..ServiceConfig::default()
     });
     // Interleave faults and real work; every real job must still succeed.
     let mut real = Vec::new();

@@ -35,6 +35,7 @@ fn four_worker_soak_matches_schoolbook_oracle() {
     let service = KemService::spawn(&ServiceConfig {
         workers: 4,
         queue_capacity: 64,
+        ..ServiceConfig::default()
     });
     let transcript = run_service(&plan, &service, 32).expect("soak run");
     let report = service.shutdown();
@@ -102,6 +103,7 @@ fn soak_transcript_is_reproducible_across_runs() {
         let service = KemService::spawn(&ServiceConfig {
             workers,
             queue_capacity: 32,
+            ..ServiceConfig::default()
         });
         run_service(&plan, &service, 16).expect("soak rerun")
     };

@@ -309,6 +309,55 @@ mod tests {
     }
 
     #[test]
+    fn pathological_names_survive_export_and_reparse() {
+        // Names containing every JSON-hostile character class: quotes,
+        // backslashes, newline/tab control characters and non-ASCII.
+        // They reach the exporter through both channels — wall-clock
+        // events (where counter names additionally become *keys* of the
+        // `args` object) and cycle timelines (arbitrary `String` names).
+        // The emitted document must stay codec-parseable, schema-valid,
+        // and lossless: the exact names come back out of the re-parse.
+        const WEIRD: &str = "q\"uote \\slash\nnew\tline é λ ♞";
+        const WEIRD_CAT: &str = "cat\"\\\n";
+        let session = span::start();
+        {
+            let _g = span::span(WEIRD_CAT, WEIRD);
+            span::counter(WEIRD_CAT, WEIRD, 7);
+            span::instant_event(WEIRD_CAT, WEIRD);
+        }
+        let trace = session.finish();
+        let mut timeline = CycleTimeline::new(WEIRD, 4);
+        timeline.push_phase(WEIRD, 3, 1);
+        timeline.add_counter(WEIRD, 9);
+
+        let text = export_string(Some(&trace), &[timeline]);
+        let doc = json::parse(&text).expect("pathological names must still emit valid JSON");
+        validate(&doc).expect("pathological names must stay schema-valid");
+
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let named = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some(WEIRD))
+            .count();
+        assert!(
+            named >= 4,
+            "span + instant + counter + phase must round-trip the name; saw {named}"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("cat").and_then(Value::as_str) == Some(WEIRD_CAT)),
+            "category strings must round-trip too"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("args").is_some_and(|a| a.get(WEIRD).is_some())),
+            "counter names must survive as args object keys"
+        );
+    }
+
+    #[test]
     fn cycle_lanes_carry_phase_ops() {
         let doc = export(None, &[sample_timeline()]);
         let events = doc.get("traceEvents").unwrap().as_array().unwrap();

@@ -14,7 +14,7 @@ use saber_core::{
 use saber_ring::mul::{
     CrtNttMultiplier, KaratsubaMultiplier, NttMultiplier, ToomCook4Multiplier,
 };
-use saber_ring::{CachedSchoolbookMultiplier, PolyMultiplier};
+use saber_ring::{CachedSchoolbookMultiplier, PolyMultiplier, SwarMultiplier};
 
 /// One registered backend: how to build it and what it accepts.
 pub struct BackendEntry {
@@ -68,6 +68,7 @@ pub fn registry() -> Vec<BackendEntry> {
         entry("karatsuba-8", 5, || {
             Box::new(KaratsubaMultiplier { levels: 8 })
         }),
+        entry("swar", 5, || Box::new(SwarMultiplier::new())),
         entry("toom-cook-4", 5, || Box::new(ToomCook4Multiplier)),
         entry("ntt", 5, || Box::new(NttMultiplier)),
         entry("crt-ntt", 5, || Box::new(CrtNttMultiplier)),
@@ -105,7 +106,7 @@ mod tests {
     #[test]
     fn registry_is_stable_and_named_uniquely() {
         let reg = registry();
-        assert_eq!(reg.len(), 18, "keep the registry in sync with the workspace");
+        assert_eq!(reg.len(), 19, "keep the registry in sync with the workspace");
         let mut names: Vec<&str> = reg.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();

@@ -13,13 +13,17 @@ use saber_service::{
 };
 
 fn main() {
-    // A fixed pool: 4 workers, each owning its own batched-multiplier
-    // shard; a 32-deep bounded queue (submissions beyond it are
+    // A fixed pool: 4 workers, each owning its own multiplier shard
+    // built from the selected engine (`SABER_ENGINE=cached|swar`, cached
+    // by default); a 32-deep bounded queue (submissions beyond it are
     // rejected with SubmitError::QueueFull, never buffered unboundedly).
-    let service = KemService::spawn(&ServiceConfig {
+    let config = ServiceConfig {
         workers: 4,
         queue_capacity: 32,
-    });
+        ..ServiceConfig::default()
+    };
+    println!("worker shards use the '{}' engine", config.engine);
+    let service = KemService::spawn(&config);
 
     // Individual typed submissions…
     let (pk, sk) = service

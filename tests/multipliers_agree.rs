@@ -1,5 +1,5 @@
 //! Cross-crate integration: every multiplier backend in the workspace —
-//! five software algorithms and six cycle-accurate hardware models —
+//! six software algorithms and six cycle-accurate hardware models —
 //! must compute identical products, and every backend's `multiply_batch`
 //! must equal the mapped `multiply`.
 //!
@@ -13,7 +13,7 @@ use saber::arch::{
 use saber::ring::mul::{
     KaratsubaMultiplier, NttMultiplier, SchoolbookMultiplier, ToomCook4Multiplier,
 };
-use saber::ring::{CachedSchoolbookMultiplier, PolyMultiplier, PolyQ, SecretPoly};
+use saber::ring::{CachedSchoolbookMultiplier, PolyMultiplier, PolyQ, SecretPoly, SwarMultiplier};
 use saber_testkit::{cases, Rng};
 
 fn rand_poly(rng: &mut Rng) -> PolyQ {
@@ -37,6 +37,7 @@ fn saber_range_backends() -> Vec<Box<dyn PolyMultiplier>> {
         Box::new(ToomCook4Multiplier),
         Box::new(NttMultiplier),
         Box::new(CachedSchoolbookMultiplier::new()),
+        Box::new(SwarMultiplier::new()),
         Box::new(BaselineMultiplier::new(256)),
         Box::new(BaselineMultiplier::new(512)),
         Box::new(CentralizedMultiplier::new(256)),
@@ -68,7 +69,9 @@ fn all_backends_agree_on_saber_range() {
 
 #[test]
 fn lightsaber_range_backends_agree() {
-    // HS-II excluded: its 15-bit packing requires |s| ≤ 4 (§3.2).
+    // Hardware HS-II excluded: its 15-bit packing requires |s| ≤ 4
+    // (§3.2). The software SWAR mirror is NOT excluded — its 32-bit
+    // lanes absorb the full LightSaber range.
     for mut rng in cases(24) {
         let a = rand_poly(&mut rng);
         let s = rand_lightsaber_secret(&mut rng);
@@ -76,6 +79,7 @@ fn lightsaber_range_backends_agree() {
         let mut backends: Vec<Box<dyn PolyMultiplier>> = vec![
             Box::new(ToomCook4Multiplier),
             Box::new(CachedSchoolbookMultiplier::new()),
+            Box::new(SwarMultiplier::new()),
             Box::new(CentralizedMultiplier::new(512)),
             Box::new(LightweightMultiplier::new()),
         ];
@@ -154,6 +158,7 @@ fn adversarial_operands() {
         let expected = SchoolbookMultiplier.multiply(a, s);
         let mut backends: Vec<Box<dyn PolyMultiplier>> = vec![
             Box::new(CachedSchoolbookMultiplier::new()),
+            Box::new(SwarMultiplier::new()),
             Box::new(CentralizedMultiplier::new(256)),
             Box::new(DspPackedMultiplier::new()),
             Box::new(LightweightMultiplier::new()),

@@ -23,6 +23,13 @@ cargo test -q
 echo "==> fuzz sweep: SABER_FUZZ_CASES=2048 (release)"
 SABER_FUZZ_CASES=2048 cargo test -q --release -p saber-verify --test differential_fuzz
 
+# SWAR backend gate: the packed HS-II software mirror must stay
+# bit-exact against the schoolbook oracle over the same 2,048-case
+# release budget, and its seeded mutant (dropped middle-carry repair)
+# must be detected by the fuzzer within a 64-case budget.
+echo "==> swar gate: bit-exactness + mutant detection (release)"
+SABER_FUZZ_CASES=2048 cargo test -q --release -p saber-verify --test swar_gate
+
 # Fault-injection sensitivity gate: every seeded mutant of the
 # cycle-accurate datapaths must be flagged by the fuzzer — 100 %
 # detection or the corpus has a blind spot.
@@ -38,6 +45,16 @@ echo "==> service stress: worker matrix 1/2/8 (release)"
 for w in 1 2 8; do
     echo "    SABER_SERVICE_WORKERS=$w"
     SABER_SERVICE_WORKERS=$w cargo test -q --release -p saber-service --test concurrency_equivalence
+done
+
+# Engine matrix: the same equivalence battery with each selectable
+# multiplier engine driving the worker shards (ServiceConfig::default
+# reads SABER_ENGINE), so the SWAR backend is exercised under real
+# worker concurrency, not just single-threaded fuzzing.
+echo "==> service stress: engine matrix cached/swar (release)"
+for e in cached swar; do
+    echo "    SABER_ENGINE=$e"
+    SABER_ENGINE=$e cargo test -q --release -p saber-service --test concurrency_equivalence
 done
 
 echo "==> service soak: SABER_SOAK_OPS=10000 (release)"
