@@ -243,6 +243,148 @@ impl BatchBenchReport {
     }
 }
 
+/// The `BENCH_derby.json` report produced by the `engine_derby` bench:
+/// every hot-path engine raced on the same batched workload, per
+/// parameter set and batch size.
+///
+/// Unlike [`BatchBenchReport`] (one baseline, one challenger) the derby
+/// is many-way, so the document carries a per-cell `winners` section
+/// and the speedup of *every* engine against the `cached` baseline —
+/// the numbers the README "Engines" table and the auto-tuner sanity
+/// gate (`auto` never slower than `cached`) are read from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DerbyReport {
+    /// All recorded data points (`op` is `batch1`/`batch4`/…; `backend`
+    /// is the engine label; `ns_per_op` is per *product*, not per batch
+    /// call, so cells are comparable across batch sizes).
+    pub entries: Vec<BatchBenchEntry>,
+}
+
+impl DerbyReport {
+    /// Records one cell: `ns_per_product` for `engine` on a
+    /// `batch`-product workload under `params`.
+    pub fn push(&mut self, params: &str, batch: usize, engine: &str, ns_per_product: f64) {
+        self.entries.push(BatchBenchEntry {
+            params: params.into(),
+            op: format!("batch{batch}"),
+            backend: engine.into(),
+            ns_per_op: ns_per_product,
+        });
+    }
+
+    /// The fastest engine for one (params, batch) cell, if measured.
+    #[must_use]
+    pub fn winner(&self, params: &str, batch: usize) -> Option<&BatchBenchEntry> {
+        let op = format!("batch{batch}");
+        self.entries
+            .iter()
+            .filter(|e| e.params == params && e.op == op)
+            .min_by(|a, b| a.ns_per_op.total_cmp(&b.ns_per_op))
+    }
+
+    /// Speedup of `engine` over the `cached` baseline for one cell.
+    #[must_use]
+    pub fn speedup_vs_cached(&self, params: &str, batch: usize, engine: &str) -> Option<f64> {
+        let op = format!("batch{batch}");
+        let find = |backend: &str| {
+            self.entries
+                .iter()
+                .find(|e| e.params == params && e.op == op && e.backend == backend)
+        };
+        match (find("cached"), find(engine)) {
+            (Some(b), Some(f)) if f.ns_per_op > 0.0 => Some(b.ns_per_op / f.ns_per_op),
+            _ => None,
+        }
+    }
+
+    /// Serializes as the `BENCH_derby.json` document: the flat entry
+    /// list, per-cell winners, and every engine's speedup vs `cached`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"bench\": \"engine_derby\",\n  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"params\": \"{}\", \"op\": \"{}\", \"engine\": \"{}\", \
+                 \"ns_per_product\": {:.1}, \"products_per_sec\": {:.2}}}{}\n",
+                e.params,
+                e.op,
+                e.backend,
+                e.ns_per_op,
+                e.ops_per_sec(),
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"winners\": [\n");
+        let mut cells: Vec<(String, String)> = Vec::new();
+        for e in &self.entries {
+            let cell = (e.params.clone(), e.op.clone());
+            if !cells.contains(&cell) {
+                cells.push(cell);
+            }
+        }
+        let winner_lines: Vec<String> = cells
+            .iter()
+            .filter_map(|(params, op)| {
+                let batch: usize = op.strip_prefix("batch")?.parse().ok()?;
+                self.winner(params, batch).map(|w| {
+                    format!(
+                        "    {{\"params\": \"{params}\", \"op\": \"{op}\", \
+                         \"engine\": \"{}\", \"ns_per_product\": {:.1}}}",
+                        w.backend, w.ns_per_op
+                    )
+                })
+            })
+            .collect();
+        out.push_str(&winner_lines.join(",\n"));
+        out.push_str("\n  ],\n  \"speedups_vs_cached\": [\n");
+        let speedup_lines: Vec<String> = self
+            .entries
+            .iter()
+            .filter_map(|e| {
+                let batch: usize = e.op.strip_prefix("batch")?.parse().ok()?;
+                self.speedup_vs_cached(&e.params, batch, &e.backend).map(|s| {
+                    format!(
+                        "    {{\"params\": \"{}\", \"op\": \"{}\", \"engine\": \"{}\", \
+                         \"speedup\": {s:.2}}}",
+                        e.params, e.op, e.backend
+                    )
+                })
+            })
+            .collect();
+        out.push_str(&speedup_lines.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Formats the derby as a printable text table, one row per cell
+    /// with the winner flagged.
+    #[must_use]
+    pub fn format_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<12} {:<10} {:<10} {:>16} {:>16}  {}\n",
+            "params", "batch", "engine", "ns/product", "products/sec", "winner"
+        ));
+        out.push_str(&format!("{}\n", "-".repeat(78)));
+        for e in &self.entries {
+            let batch: Option<usize> = e.op.strip_prefix("batch").and_then(|b| b.parse().ok());
+            let is_winner = batch
+                .and_then(|b| self.winner(&e.params, b))
+                .is_some_and(|w| std::ptr::eq(w, e));
+            out.push_str(&format!(
+                "{:<12} {:<10} {:<10} {:>16.0} {:>16.1}  {}\n",
+                e.params,
+                e.op,
+                e.backend,
+                e.ns_per_op,
+                e.ops_per_sec(),
+                if is_winner { "◀" } else { "" }
+            ));
+        }
+        out
+    }
+}
+
 /// One service-scaling data point: one operation on one parameter set
 /// at one worker count, with both the measured time and the model's
 /// projection (see [`ServiceBenchReport`] for the basis policy).
@@ -562,6 +704,26 @@ impl TraceBenchReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn derby_report_ranks_winners_and_speedups() {
+        let mut r = DerbyReport::default();
+        r.push("Saber", 16, "cached", 1000.0);
+        r.push("Saber", 16, "swar", 500.0);
+        r.push("Saber", 16, "toom", 2000.0);
+        assert_eq!(r.winner("Saber", 16).unwrap().backend, "swar");
+        assert_eq!(r.speedup_vs_cached("Saber", 16, "swar"), Some(2.0));
+        assert_eq!(r.speedup_vs_cached("Saber", 16, "toom"), Some(0.5));
+        assert_eq!(r.speedup_vs_cached("Saber", 4, "swar"), None, "unmeasured cell");
+        let json = r.to_json();
+        assert!(json.contains("\"bench\": \"engine_derby\""));
+        assert!(json.contains("\"winners\""));
+        assert!(json.contains("\"speedups_vs_cached\""));
+        assert!(json.contains("\"op\": \"batch16\", \"engine\": \"swar\""));
+        let text = r.format_text();
+        assert!(text.lines().any(|l| l.contains("swar") && l.contains('◀')));
+        assert!(!text.lines().any(|l| l.contains("toom") && l.contains('◀')));
+    }
 
     #[test]
     fn measured_rows_cover_the_modelable_paper_rows() {

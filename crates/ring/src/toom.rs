@@ -22,13 +22,19 @@ use crate::schoolbook::{fold_negacyclic, linear_mul_i64};
 use crate::secret::SecretPoly;
 
 /// Number of evaluation points (degree-3 × degree-3 ⇒ degree-6 ⇒ 7).
-const POINTS: usize = 7;
+pub const POINTS: usize = 7;
 
 /// Finite evaluation points; the seventh "point" is ∞ (leading limb).
-const FINITE_POINTS: [i128; POINTS - 1] = [0, 1, -1, 2, -2, 3];
+pub const FINITE_POINTS: [i128; POINTS - 1] = [0, 1, -1, 2, -2, 3];
 
 /// Limb count of Toom-4.
-const LIMBS: usize = 4;
+pub const LIMBS: usize = 4;
+
+/// Coefficients per limb for ring-sized (`N = 256`) operands.
+pub const LIMB: usize = N / LIMBS;
+
+/// Length of one ring-sized limb product (`2·LIMB − 1`).
+pub const PROD: usize = 2 * LIMB - 1;
 
 /// An exact fraction over `i128`, used only for the tiny 7×7 inversion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +154,92 @@ fn invert(m: &[[Fraction; POINTS]; POINTS]) -> [[Fraction; POINTS]; POINTS] {
     inv
 }
 
+/// The interpolation operator in pure-integer form: limb-product
+/// coefficient `w_k = (Σ_j num[k][j] · v_j) / den`, with every division
+/// exact over ℤ.
+///
+/// Derived once from the exact rational inverse by clearing the rows to
+/// their least common denominator; the hot path then needs only integer
+/// multiply-accumulate plus one exact division per output coefficient.
+/// Exposed (read-only) so fault mutants can corrupt a single term and
+/// prove the fuzzer notices.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledInterpolation {
+    /// Numerators scaled to the common denominator, row per output limb
+    /// coefficient, column per evaluation point.
+    pub num: [[i128; POINTS]; POINTS],
+    /// The shared positive denominator.
+    pub den: i128,
+}
+
+/// The integer form of the interpolation matrix (computed once).
+#[must_use]
+pub fn scaled_interpolation() -> &'static ScaledInterpolation {
+    static SCALED: OnceLock<ScaledInterpolation> = OnceLock::new();
+    SCALED.get_or_init(|| {
+        let inv = interpolation_matrix();
+        let mut den: i128 = 1;
+        for row in inv.iter() {
+            for f in row.iter() {
+                den = den / gcd(den.unsigned_abs(), f.den.unsigned_abs()) as i128 * f.den;
+            }
+        }
+        let mut num = [[0i128; POINTS]; POINTS];
+        for (src, dst) in inv.iter().zip(num.iter_mut()) {
+            for (f, slot) in src.iter().zip(dst.iter_mut()) {
+                *slot = f.num * (den / f.den);
+            }
+        }
+        ScaledInterpolation { num, den }
+    })
+}
+
+/// Evaluates the four [`LIMB`]-coefficient limbs of a ring-sized operand
+/// at the seven Toom points without allocating (the ∞ row is the leading
+/// limb itself).
+///
+/// This is the per-operand half of the engine hot path; the batched
+/// engine runs it once per distinct *secret* and reuses the result
+/// across the whole batch.
+pub fn evaluate_points(src: &[i64; N], out: &mut [[i64; LIMB]; POINTS]) {
+    for (row, &t) in FINITE_POINTS.iter().enumerate() {
+        let t = t as i64;
+        for (idx, slot) in out[row].iter_mut().enumerate() {
+            // Horner over the four limbs: ((a3·t + a2)·t + a1)·t + a0.
+            let mut acc = src[3 * LIMB + idx];
+            for limb in (0..3).rev() {
+                acc = acc * t + src[limb * LIMB + idx];
+            }
+            *slot = acc;
+        }
+    }
+    out[POINTS - 1].copy_from_slice(&src[(LIMBS - 1) * LIMB..]);
+}
+
+/// Interpolates the seven ring-sized limb products into the
+/// 511-coefficient linear product without allocating.
+///
+/// # Panics
+///
+/// Debug builds panic if any interpolation division is inexact (a logic
+/// error, never bad input).
+pub fn interpolate_points(products: &[[i64; PROD]; POINTS], out: &mut [i64; 2 * N - 1]) {
+    let scaled = scaled_interpolation();
+    out.fill(0);
+    for (k, row) in scaled.num.iter().enumerate() {
+        for idx in 0..PROD {
+            let mut acc: i128 = 0;
+            for (j, &c) in row.iter().enumerate() {
+                if c != 0 {
+                    acc += c * i128::from(products[j][idx]);
+                }
+            }
+            debug_assert_eq!(acc % scaled.den, 0, "Toom-4 interpolation must be exact");
+            out[k * LIMB + idx] += (acc / scaled.den) as i64;
+        }
+    }
+}
+
 /// Evaluates the four limbs of `poly` (length 4·`limb`) at point `t`.
 fn evaluate(limbs: &[&[i64]], t: i128, out: &mut [i128]) {
     for (idx, slot) in out.iter_mut().enumerate() {
@@ -210,30 +302,23 @@ pub fn toom4_linear(a: &[i64], b: &[i64]) -> Vec<i64> {
             .collect(),
     );
 
-    // Interpolate each coefficient position across the 7 limb products.
-    let inv = interpolation_matrix();
+    // Interpolate each coefficient position across the 7 limb products,
+    // over the shared integer denominator (no per-coefficient fractions).
+    let scaled = scaled_interpolation();
     let prod_len = 2 * limb - 1;
     let mut out = vec![0i64; 2 * a.len() - 1];
-    for (k, row) in inv.iter().enumerate() {
+    for (k, row) in scaled.num.iter().enumerate() {
         for idx in 0..prod_len {
-            // w_k[idx] = Σ_j inv[k][j] · v_j[idx], exactly.
-            let mut num: i128 = 0;
-            let mut den: i128 = 1;
-            for (j, coeff) in row.iter().enumerate() {
-                if coeff.is_zero() {
-                    continue;
+            // w_k[idx] = (Σ_j num[k][j] · v_j[idx]) / den, exactly.
+            let mut acc: i128 = 0;
+            for (j, &c) in row.iter().enumerate() {
+                if c != 0 {
+                    acc += c * products[j][idx];
                 }
-                // Accumulate over a common denominator.
-                let v = products[j][idx];
-                num = num * coeff.den + coeff.num * v * den;
-                den *= coeff.den;
-                let g = gcd(num.unsigned_abs(), den.unsigned_abs()).max(1) as i128;
-                num /= g;
-                den /= g;
             }
-            assert_eq!(den.abs(), 1, "Toom-4 interpolation must be exact");
-            let w = num * den; // den is ±1
-            out[k * limb + idx] += i64::try_from(w).expect("limb coefficient fits i64");
+            assert_eq!(acc % scaled.den, 0, "Toom-4 interpolation must be exact");
+            out[k * limb + idx] +=
+                i64::try_from(acc / scaled.den).expect("limb coefficient fits i64");
         }
     }
     out
@@ -296,6 +381,47 @@ mod tests {
                 assert_eq!(acc, expect, "inverse entry ({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn scaled_matrix_agrees_with_rational_inverse() {
+        let inv = interpolation_matrix();
+        let scaled = scaled_interpolation();
+        assert!(scaled.den > 0);
+        for (frow, srow) in inv.iter().zip(scaled.num.iter()) {
+            for (f, &s) in frow.iter().zip(srow.iter()) {
+                // num/den reduced ≡ the original fraction.
+                assert_eq!(s * f.den, f.num * scaled.den);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_size_helpers_match_generic_path() {
+        let a: [i64; N] = std::array::from_fn(|i| ((i as i64 * 29) % 8192) - 4096);
+        let b: [i64; N] = std::array::from_fn(|i| ((i as i64 * 7) % 11) - 5);
+        let mut ea = [[0i64; LIMB]; POINTS];
+        let mut eb = [[0i64; LIMB]; POINTS];
+        evaluate_points(&a, &mut ea);
+        evaluate_points(&b, &mut eb);
+        let mut products = [[0i64; PROD]; POINTS];
+        for (p, prod) in products.iter_mut().enumerate() {
+            let full = linear_mul_i64(&ea[p], &eb[p]);
+            prod.copy_from_slice(&full);
+        }
+        let mut linear = [0i64; 2 * N - 1];
+        interpolate_points(&products, &mut linear);
+        assert_eq!(linear.to_vec(), toom4_linear(&a, &b));
+    }
+
+    #[test]
+    fn evaluate_points_leading_limb_is_infinity_row() {
+        let a: [i64; N] = std::array::from_fn(|i| i as i64);
+        let mut ea = [[0i64; LIMB]; POINTS];
+        evaluate_points(&a, &mut ea);
+        assert_eq!(&ea[POINTS - 1][..], &a[3 * LIMB..]);
+        // Point 0 reads the low limb directly.
+        assert_eq!(&ea[0][..], &a[..LIMB]);
     }
 
     #[test]

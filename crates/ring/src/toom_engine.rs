@@ -1,0 +1,302 @@
+//! Batched Toom-Cook-4 hot-path engine.
+//!
+//! [`crate::toom`] provides the free-function Toom-4 multiplier; this
+//! module promotes it to a first-class [`PolyMultiplier`] the way
+//! [`crate::cached`] and [`crate::swar`] wrap HS-I/HS-II: all scratch is
+//! owned by the engine (zero heap allocation per multiply after
+//! construction) and the batch path amortizes the secret-side work.
+//!
+//! The amortizable half of Toom-4 is the **evaluation of the secret's
+//! four limbs at the seven interpolation points** ([`SecretToomEval`]):
+//! in a rank-`l` mat-vec product each secret polynomial meets `l`
+//! different publics, so its point evaluations are computed once and
+//! reused `l − 1` times — the same secret-resident scheduling the
+//! paper's Table 5 exploits in hardware. Each product then costs one
+//! public-side evaluation, seven 64-coefficient Karatsuba products
+//! (allocation-free, [`crate::karatsuba::karatsuba_into`]), and one
+//! integer interpolation.
+//!
+//! Trace counters (`toom.*`) expose the amortization rate so the
+//! profiling layer can explain *why* this engine wins or loses a derby.
+
+use crate::karatsuba::{into_scratch_len, karatsuba_into};
+use crate::modulus::N;
+use crate::mul::PolyMultiplier;
+use crate::poly::PolyQ;
+use crate::schoolbook::fold_negacyclic;
+use crate::secret::SecretPoly;
+use crate::toom::{evaluate_points, interpolate_points, LIMB, POINTS, PROD};
+
+/// Per-secret reusable state: the secret's limb evaluations at the seven
+/// Toom points.
+///
+/// # Examples
+///
+/// ```
+/// use saber_ring::toom_engine::SecretToomEval;
+/// use saber_ring::SecretPoly;
+///
+/// let s = SecretPoly::from_fn(|i| ((i % 7) as i8) - 3);
+/// let mut eval = SecretToomEval::default();
+/// eval.decompose(&s);
+/// // Point 0 of the evaluation is the secret's low limb itself.
+/// assert_eq!(eval.evaluations()[0][1], i64::from(s.coeffs()[1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SecretToomEval {
+    evals: [[i64; LIMB]; POINTS],
+}
+
+impl Default for SecretToomEval {
+    fn default() -> Self {
+        Self {
+            evals: [[0; LIMB]; POINTS],
+        }
+    }
+}
+
+impl SecretToomEval {
+    /// (Re)computes the point evaluations for `secret`, reusing storage.
+    pub fn decompose(&mut self, secret: &SecretPoly) {
+        evaluate_points(&secret.to_i64(), &mut self.evals);
+        saber_trace::counter("ring", "toom.secret_eval_build", 1);
+    }
+
+    /// The seven limb evaluations (row per point).
+    #[must_use]
+    pub fn evaluations(&self) -> &[[i64; LIMB]; POINTS] {
+        &self.evals
+    }
+}
+
+/// Toom-Cook-4 multiplier with engine-owned scratch and per-secret
+/// evaluation caching (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use saber_ring::toom_engine::ToomCook4Engine;
+/// use saber_ring::mul::{PolyMultiplier, SchoolbookMultiplier};
+/// use saber_ring::{PolyQ, SecretPoly};
+///
+/// let a = PolyQ::from_fn(|i| (37 * i as u16) & 0x1fff);
+/// let s = SecretPoly::from_fn(|i| ((i % 11) as i8) - 5);
+/// let mut toom = ToomCook4Engine::new();
+/// assert_eq!(toom.multiply(&a, &s), SchoolbookMultiplier.multiply(&a, &s));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ToomCook4Engine {
+    /// Public-side point evaluations (recomputed every product).
+    ea: [[i64; LIMB]; POINTS],
+    /// The seven point products.
+    products: [[i64; PROD]; POINTS],
+    /// Interpolated 511-coefficient linear product, pre-fold.
+    linear: [i64; 2 * N - 1],
+    /// Arena for the allocation-free inner Karatsuba, sized once for the
+    /// 64-coefficient base case.
+    kara: Vec<i64>,
+    /// Secret-evaluation scratch for the single-product path.
+    scratch_secret: SecretToomEval,
+}
+
+impl Default for ToomCook4Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ToomCook4Engine {
+    /// Creates an engine with all scratch preallocated.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            ea: [[0; LIMB]; POINTS],
+            products: [[0; PROD]; POINTS],
+            linear: [0; 2 * N - 1],
+            kara: vec![0i64; into_scratch_len(LIMB)],
+            scratch_secret: SecretToomEval::default(),
+        }
+    }
+
+    /// Multiplies `public` by a secret whose point evaluations were
+    /// already computed — the amortizable core of the batch path.
+    pub fn multiply_evaluated(&mut self, public: &PolyQ, secret: &SecretToomEval) -> PolyQ {
+        // Zero-allocation contract: the Karatsuba arena must survive the
+        // whole multiply untouched (its backing store never moves).
+        #[cfg(debug_assertions)]
+        let arena_fingerprint = (self.kara.as_ptr(), self.kara.capacity());
+
+        evaluate_points(&public.to_i64(), &mut self.ea);
+        // Seven quarter-size products: public eval magnitudes stay below
+        // 2^13·(1+3+9+27) < 2^19 and secret evals below 5·40 = 200, so
+        // each 64-term convolution coefficient is < 2^33 — i64-safe.
+        for (p, prod) in self.products.iter_mut().enumerate() {
+            karatsuba_into(&self.ea[p], &secret.evals[p], prod, &mut self.kara);
+        }
+        interpolate_points(&self.products, &mut self.linear);
+        saber_trace::counter("ring", "toom.interpolations", 1);
+
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            arena_fingerprint == (self.kara.as_ptr(), self.kara.capacity()),
+            "Toom hot path must not reallocate after warmup"
+        );
+        PolyQ::from_signed(&fold_negacyclic(&self.linear))
+    }
+}
+
+impl PolyMultiplier for ToomCook4Engine {
+    fn multiply(&mut self, public: &PolyQ, secret: &SecretPoly) -> PolyQ {
+        // Swap the secret scratch out so `multiply_evaluated` can borrow
+        // `self` mutably alongside it, then restore it.
+        let mut eval = std::mem::take(&mut self.scratch_secret);
+        eval.decompose(secret);
+        let product = self.multiply_evaluated(public, &eval);
+        self.scratch_secret = eval;
+        product
+    }
+
+    fn multiply_batch(&mut self, ops: &[(&PolyQ, &SecretPoly)]) -> Vec<PolyQ> {
+        // Evaluate each distinct secret exactly once: identity by
+        // reference first (mat-vec callers pass one &SecretPoly per
+        // column), by value as a fallback.
+        let mut evaluated: Vec<(&SecretPoly, SecretToomEval)> = Vec::new();
+        let mut out = Vec::with_capacity(ops.len());
+        for &(public, secret) in ops {
+            let index = match evaluated
+                .iter()
+                .position(|(known, _)| std::ptr::eq(*known, secret) || *known == secret)
+            {
+                Some(index) => {
+                    saber_trace::counter("ring", "toom.secret_eval_reused", 1);
+                    index
+                }
+                None => {
+                    let mut eval = SecretToomEval::default();
+                    eval.decompose(secret);
+                    evaluated.push((secret, eval));
+                    evaluated.len() - 1
+                }
+            };
+            out.push(self.multiply_evaluated(public, &evaluated[index].1));
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "toom-cook-4 batched engine (software)"
+    }
+}
+
+// Compile-time proof the engine can move into service worker threads.
+const _: () = {
+    const fn assert_send<T: Send + 'static>() {}
+    assert_send::<ToomCook4Engine>();
+    assert_send::<SecretToomEval>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schoolbook;
+
+    fn poly(seed: u16) -> PolyQ {
+        PolyQ::from_fn(|i| (i as u16).wrapping_mul(seed) ^ (seed << 3))
+    }
+
+    fn secret(seed: i8) -> SecretPoly {
+        SecretPoly::from_fn(|i| (((i as i16).wrapping_mul(seed as i16 + 5) % 11) - 5) as i8)
+    }
+
+    #[test]
+    fn matches_schoolbook_oracle() {
+        let mut toom = ToomCook4Engine::new();
+        for seed in [1u16, 313, 4095, 8191] {
+            let a = poly(seed);
+            let s = secret((seed % 5) as i8);
+            assert_eq!(
+                toom.multiply(&a, &s),
+                schoolbook::mul_asym(&a, &s),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_operands_stay_exact() {
+        let mut toom = ToomCook4Engine::new();
+        let a = PolyQ::from_fn(|_| 8191);
+        for s in [
+            SecretPoly::from_fn(|_| -5),
+            SecretPoly::from_fn(|i| if i % 2 == 0 { 5 } else { -5 }),
+            SecretPoly::zero(),
+        ] {
+            assert_eq!(toom.multiply(&a, &s), schoolbook::mul_asym(&a, &s));
+        }
+    }
+
+    #[test]
+    fn batch_matches_mapped_multiplies() {
+        let mut toom = ToomCook4Engine::new();
+        let publics: Vec<PolyQ> = (0..9).map(|k| poly(500 + k)).collect();
+        let s0 = secret(1);
+        let s1 = secret(2);
+        let ops: Vec<(&PolyQ, &SecretPoly)> = publics
+            .iter()
+            .enumerate()
+            .map(|(k, a)| (a, if k % 3 == 0 { &s0 } else { &s1 }))
+            .collect();
+        let batched = toom.multiply_batch(&ops);
+        for (k, (a, s)) in ops.iter().enumerate() {
+            assert_eq!(batched[k], schoolbook::mul_asym(a, s), "pair {k}");
+        }
+    }
+
+    #[test]
+    fn batch_counters_record_builds_and_reuse() {
+        let session = saber_trace::start();
+        saber_trace::instant_event("test", "sentinel.toom");
+        let mut toom = ToomCook4Engine::new();
+        let publics: Vec<PolyQ> = (0..6).map(|k| poly(700 + k)).collect();
+        let s0 = secret(3);
+        let s1 = secret(4);
+        let ops: Vec<(&PolyQ, &SecretPoly)> = publics
+            .iter()
+            .enumerate()
+            .map(|(k, a)| (a, if k % 2 == 0 { &s0 } else { &s1 }))
+            .collect();
+        let _ = toom.multiply_batch(&ops);
+        let trace = session.finish();
+        let tid = trace
+            .events()
+            .iter()
+            .find(|e| e.name == "sentinel.toom")
+            .expect("sentinel recorded")
+            .tid;
+        let total = |name: &str| -> i64 {
+            trace
+                .events()
+                .iter()
+                .filter(|e| e.tid == tid && e.name == name)
+                .filter_map(|e| match e.kind {
+                    saber_trace::EventKind::Counter { value, .. } => Some(value),
+                    _ => None,
+                })
+                .sum()
+        };
+        // Two distinct secrets in six ops: two evaluation builds, four
+        // reuses, six interpolations.
+        assert_eq!(total("toom.secret_eval_build"), 2);
+        assert_eq!(total("toom.secret_eval_reused"), 4);
+        assert_eq!(total("toom.interpolations"), 6);
+    }
+
+    #[test]
+    fn scratch_state_does_not_leak_between_calls() {
+        let mut toom = ToomCook4Engine::new();
+        let _ = toom.multiply(&poly(9999), &secret(5));
+        let sparse = SecretPoly::from_fn(|k| i8::from(k == 17));
+        let a = poly(21);
+        assert_eq!(toom.multiply(&a, &sparse), schoolbook::mul_asym(&a, &sparse));
+    }
+}

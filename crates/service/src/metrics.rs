@@ -18,6 +18,7 @@
 //! path (bucket index is a leading-zeros computation).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use saber_testkit::json::Value;
 
@@ -163,6 +164,10 @@ pub struct Metrics {
     ops: [LatencyHistogram; 4],
     queue_wait: [LatencyHistogram; 4],
     execute: [LatencyHistogram; 4],
+    // The one mutex in the registry: engine labels are recorded once per
+    // worker at startup (and after a panic rebuild), never on the job
+    // hot path, so a lock is fine here where it would not be above.
+    engines: Mutex<Vec<String>>,
 }
 
 impl Metrics {
@@ -204,6 +209,17 @@ impl Metrics {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A worker shard came up on the named concrete engine. Called once
+    /// per worker at pool startup — for `SABER_ENGINE=auto` the label is
+    /// the calibrated winner, so the report records what actually served
+    /// traffic, not the selection policy.
+    pub fn record_engine(&self, label: &str) {
+        self.engines
+            .lock()
+            .expect("engine label lock")
+            .push(label.to_string());
+    }
+
     /// Current completed-jobs count (cheap progress gauge).
     #[must_use]
     pub fn completed_count(&self) -> u64 {
@@ -213,7 +229,12 @@ impl Metrics {
     /// Snapshots every counter and histogram into a [`ServiceReport`].
     #[must_use]
     pub fn snapshot(&self, workers: usize, queue_capacity: usize, queue_depth: usize) -> ServiceReport {
+        // Sorted so the report is deterministic regardless of worker
+        // startup order (workers race to record their labels).
+        let mut engines = self.engines.lock().expect("engine label lock").clone();
+        engines.sort_unstable();
         ServiceReport {
+            engines,
             workers: workers as u64,
             queue_capacity: queue_capacity as u64,
             queue_depth: queue_depth as u64,
@@ -262,6 +283,10 @@ pub struct ServiceReport {
     pub worker_panics: u64,
     /// Highest queue depth observed at submit time.
     pub queue_high_water: u64,
+    /// Concrete engine label each worker shard resolved to (sorted;
+    /// one entry per worker startup). Under `SABER_ENGINE=auto` this is
+    /// where the calibrated per-shard choice is recorded.
+    pub engines: Vec<String>,
     /// Per-operation end-to-end (enqueue→completion) latency
     /// histograms, in [`OpKind::ALL`] order.
     pub ops: Vec<(OpKind, HistogramSnapshot)>,
@@ -337,6 +362,15 @@ impl ServiceReport {
             ("worker_panics".into(), int(self.worker_panics)),
             ("queue_high_water".into(), int(self.queue_high_water)),
             (
+                "engines".into(),
+                Value::Array(
+                    self.engines
+                        .iter()
+                        .map(|label| Value::Str(label.clone()))
+                        .collect(),
+                ),
+            ),
+            (
                 "bucket_bounds_ns".into(),
                 Value::Array(BUCKET_BOUNDS_NS.iter().map(|&b| int(b.min(i64::MAX as u64))).collect()),
             ),
@@ -389,6 +423,19 @@ impl ServiceReport {
                 max_ns: field("max_ns")?,
             })
         }
+        let mut engines = Vec::new();
+        for entry in value
+            .get("engines")
+            .and_then(Value::as_array)
+            .ok_or("missing engines array")?
+        {
+            engines.push(
+                entry
+                    .as_str()
+                    .ok_or("engine label must be a string")?
+                    .to_string(),
+            );
+        }
         let mut ops = Vec::new();
         let mut queue_wait = Vec::new();
         let mut execute = Vec::new();
@@ -419,6 +466,7 @@ impl ServiceReport {
             failed: int("failed")?,
             worker_panics: int("worker_panics")?,
             queue_high_water: int("queue_high_water")?,
+            engines,
             ops,
             queue_wait,
             execute,
@@ -448,6 +496,9 @@ impl ServiceReport {
             self.failed,
             self.queue_high_water,
         );
+        if !self.engines.is_empty() {
+            line.push_str(&format!(" engines={}", self.engines.join(",")));
+        }
         for (op, h) in &self.ops {
             if h.count > 0 {
                 let wait = self.op_queue_wait(*op).map_or(0, HistogramSnapshot::mean_ns);
@@ -548,6 +599,19 @@ mod tests {
         let r = m.snapshot(1, 4, 0);
         assert_eq!(r.op(OpKind::Keygen).unwrap().total_ns, u64::MAX);
         assert_eq!(r.op(OpKind::Keygen).unwrap().max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn engine_labels_are_recorded_sorted_and_survive_json() {
+        let m = Metrics::default();
+        m.record_engine("toom");
+        m.record_engine("cached");
+        m.record_engine("cached");
+        let r = m.snapshot(3, 8, 0);
+        assert_eq!(r.engines, ["cached", "cached", "toom"], "sorted snapshot");
+        let back = ServiceReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back.engines, r.engines);
+        assert!(r.format_summary().contains("engines=cached,cached,toom"));
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //!
 //! Each worker owns one multiplier shard built from the configured
 //! [`EngineKind`] — the cached HS-I mirror by default, or the SWAR
-//! HS-II mirror (`ServiceConfig::engine`, honouring `SABER_ENGINE`) —
-//! the software analogue of the paper replicating a verified datapath
-//! per compute unit. The shard is worker-local, so the hot path
+//! HS-II mirror, batched Toom-Cook-4, batched NTT-over-CRT, or the
+//! `auto` policy that calibrates per shard at startup
+//! (`ServiceConfig::engine`, honouring `SABER_ENGINE`) — the software
+//! analogue of the paper replicating a verified datapath per compute
+//! unit. The concrete engine each shard resolved to is recorded in the
+//! [`ServiceReport`] `engines` field. The shard is worker-local, so the hot path
 //! (multiple caching or lane scans, Keccak) runs with **no lock held
 //! and no sharing**; the only synchronized structures are the O(1)
 //! queue operations and the one-shot result slots.
@@ -53,8 +56,9 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Bounded queue capacity; submissions beyond it are rejected.
     pub queue_capacity: usize,
-    /// Multiplier engine each worker shard is built from (HS-I cached
-    /// mirror or HS-II SWAR mirror; both are oracle-verified).
+    /// Multiplier engine each worker shard is built from: one of the
+    /// four oracle-verified software backends, or [`EngineKind::Auto`]
+    /// to let a startup calibration pick the fastest per shard.
     pub engine: EngineKind,
 }
 
@@ -558,7 +562,14 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 fn worker_loop(inner: &Inner) {
-    let mut shard = inner.engine.build();
+    // Resolve the engine once per worker: for `SABER_ENGINE=auto` this
+    // runs the startup calibration, and the concrete winner (never
+    // `auto`) is what the report records and what panic recovery
+    // rebuilds — a mid-traffic rebuild must not re-calibrate.
+    let resolved = inner.engine.resolve();
+    let kind = resolved.kind;
+    let mut shard = resolved.shard;
+    inner.metrics.record_engine(kind.label());
     while let Some(job) = inner.queue.pop() {
         let Job {
             request,
@@ -600,8 +611,9 @@ fn worker_loop(inner: &Inner) {
             }
             Err(payload) => {
                 // The shard's scratch state is suspect after an unwind
-                // mid-multiplication: rebuild it, fail only this job.
-                shard = inner.engine.build();
+                // mid-multiplication: rebuild it (same concrete engine
+                // the worker calibrated to), fail only this job.
+                shard = kind.build();
                 inner.metrics.record_failed_panic();
                 slot.fill(Err(JobError::WorkerPanicked {
                     message: panic_message(payload),

@@ -130,6 +130,19 @@ fn service_report_roundtrips_through_json() {
         report
     );
 
+    // Every worker recorded the concrete engine its shard resolved to
+    // (never the `auto` policy itself), and the labels survive JSON.
+    assert_eq!(report.engines.len(), 2, "one label per worker");
+    for label in &report.engines {
+        assert_ne!(label, "auto", "report records the calibrated winner");
+        assert!(
+            saber_ring::EngineKind::parse(label).is_some(),
+            "unknown engine label {label:?}"
+        );
+    }
+    assert!(text.contains("\"engines\""));
+    assert_eq!(back.engines, report.engines);
+
     // Derived fields in the document agree with the struct.
     let keygen = report.op(OpKind::Keygen).expect("keygen histogram");
     assert_eq!(keygen.count, 1);
@@ -161,7 +174,10 @@ fn malformed_reports_are_rejected_with_field_names() {
     );
     let missing = ServiceReport::from_json_str("{\"report\": \"saber-service\"}")
         .expect_err("missing fields");
-    assert!(missing.contains("ops") || missing.contains("workers"), "{missing}");
+    assert!(
+        missing.contains("ops") || missing.contains("workers") || missing.contains("engines"),
+        "{missing}"
+    );
 
     // Truncated bucket arrays are caught, not silently zero-filled.
     let service = KemService::spawn(&ServiceConfig {

@@ -14,7 +14,9 @@ use saber_core::{
 use saber_ring::mul::{
     CrtNttMultiplier, KaratsubaMultiplier, NttMultiplier, ToomCook4Multiplier,
 };
-use saber_ring::{CachedSchoolbookMultiplier, PolyMultiplier, SwarMultiplier};
+use saber_ring::{
+    CachedSchoolbookMultiplier, NttCrtEngine, PolyMultiplier, SwarMultiplier, ToomCook4Engine,
+};
 
 /// One registered backend: how to build it and what it accepts.
 pub struct BackendEntry {
@@ -72,6 +74,10 @@ pub fn registry() -> Vec<BackendEntry> {
         entry("toom-cook-4", 5, || Box::new(ToomCook4Multiplier)),
         entry("ntt", 5, || Box::new(NttMultiplier)),
         entry("crt-ntt", 5, || Box::new(CrtNttMultiplier)),
+        // Batched hot-path engines (crates/ring): the scratch-owning,
+        // secret-caching variants behind SABER_ENGINE=toom|ntt.
+        entry("toom-engine", 5, || Box::new(ToomCook4Engine::new())),
+        entry("ntt-engine", 5, || Box::new(NttCrtEngine::new())),
         // Cycle-accurate hardware models (crates/core).
         entry("baseline-256", 5, || Box::new(BaselineMultiplier::new(256))),
         entry("baseline-512", 5, || Box::new(BaselineMultiplier::new(512))),
@@ -106,7 +112,7 @@ mod tests {
     #[test]
     fn registry_is_stable_and_named_uniquely() {
         let reg = registry();
-        assert_eq!(reg.len(), 19, "keep the registry in sync with the workspace");
+        assert_eq!(reg.len(), 21, "keep the registry in sync with the workspace");
         let mut names: Vec<&str> = reg.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();

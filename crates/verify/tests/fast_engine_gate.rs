@@ -1,0 +1,85 @@
+//! CI gate for the fast-algorithm hot-path engines
+//! (`saber_ring::toom_engine`, `saber_ring::ntt_crt_engine`).
+//!
+//! Mirrors `swar_gate.rs` for the two engines ISSUE 6 promotes to the
+//! hot path: each must be bit-exact against the schoolbook oracle over
+//! the full configured fuzz budget (2,048 cases per set in release CI),
+//! its seeded mutant (dropped Toom interpolation term, off-by-one CRT
+//! recombination constant) must be caught within a 64-case budget, and
+//! the batch paths of all four engines must agree on shared operands.
+
+use saber_core::fault::{Fault, FaultyMultiplier};
+use saber_ring::EngineKind;
+use saber_verify::differential::{sweep_backend, FuzzConfig, DEFAULT_SEED};
+
+/// Detection budget for the seeded mutants (the ISSUE-mandated bound).
+const MUTANT_BUDGET: usize = 64;
+
+#[test]
+fn toom_engine_is_bit_exact_across_the_full_fuzz_budget() {
+    let cases = FuzzConfig::standard().cases_per_set;
+    let mut toom = saber_ring::ToomCook4Engine::new();
+    if let Some(mismatch) = sweep_backend(&mut toom, 5, DEFAULT_SEED, cases) {
+        panic!("Toom engine diverged from the schoolbook oracle: {mismatch}");
+    }
+}
+
+#[test]
+fn ntt_engine_is_bit_exact_across_the_full_fuzz_budget() {
+    let cases = FuzzConfig::standard().cases_per_set;
+    let mut ntt = saber_ring::NttCrtEngine::new();
+    if let Some(mismatch) = sweep_backend(&mut ntt, 5, DEFAULT_SEED, cases) {
+        panic!("NTT-CRT engine diverged from the schoolbook oracle: {mismatch}");
+    }
+}
+
+#[test]
+fn dropped_toom_interpolation_term_is_caught_within_budget() {
+    let fault = Fault::ToomInterpolationTermDropped;
+    let mut mutant = FaultyMultiplier::new(fault);
+    let mismatch = sweep_backend(&mut mutant, fault.secret_bound(), DEFAULT_SEED, MUTANT_BUDGET)
+        .expect("the corpus must detect the dropped Toom interpolation term");
+    assert!(
+        mismatch.case_index < MUTANT_BUDGET,
+        "mutant took {} cases to detect",
+        mismatch.case_index
+    );
+}
+
+#[test]
+fn wrong_crt_recombination_constant_is_caught_within_budget() {
+    let fault = Fault::CrtRecombineConstantOff;
+    let mut mutant = FaultyMultiplier::new(fault);
+    let mismatch = sweep_backend(&mut mutant, fault.secret_bound(), DEFAULT_SEED, MUTANT_BUDGET)
+        .expect("the corpus must detect the corrupted CRT recombination constant");
+    assert!(
+        mismatch.case_index < MUTANT_BUDGET,
+        "mutant took {} cases to detect",
+        mismatch.case_index
+    );
+}
+
+#[test]
+fn all_four_engines_agree_on_a_shared_fuzzed_batch() {
+    // Cross-engine agreement on one batch: the engines must be
+    // interchangeable behind the selector, batch path included.
+    use saber_testkit::Rng;
+
+    let mut rng = Rng::new(DEFAULT_SEED ^ 0xfa57);
+    let publics: Vec<saber_ring::PolyQ> = (0..8)
+        .map(|_| saber_ring::PolyQ::from_fn(|_| (rng.next_u32() & 0x1fff) as u16))
+        .collect();
+    let secrets: Vec<saber_ring::SecretPoly> = (0..3)
+        .map(|_| saber_ring::SecretPoly::from_fn(|_| ((rng.next_u32() % 11) as i8) - 5))
+        .collect();
+    let ops: Vec<(&saber_ring::PolyQ, &saber_ring::SecretPoly)> = publics
+        .iter()
+        .zip(secrets.iter().cycle())
+        .collect();
+    let mut reference = EngineKind::Cached.build();
+    let expected = reference.multiply_batch(&ops);
+    for kind in EngineKind::ALL {
+        let mut shard = kind.build();
+        assert_eq!(shard.multiply_batch(&ops), expected, "engine {kind}");
+    }
+}

@@ -36,6 +36,14 @@ SABER_FUZZ_CASES=2048 cargo test -q --release -p saber-verify --test swar_gate
 echo "==> fault-injection sensitivity gate (release)"
 cargo test -q --release -p saber-verify --test fault_sensitivity
 
+# Fast-engine gate: the batched Toom-Cook-4 and NTT-CRT hot-path
+# engines must stay bit-exact over the full 2,048-case release budget,
+# their seeded mutants (dropped Toom interpolation term, wrong CRT
+# recombination constant) must be caught within 64 cases, and all four
+# engines must agree on a shared fuzzed batch.
+echo "==> fast-engine gate: toom + ntt bit-exactness + mutants (release)"
+SABER_FUZZ_CASES=2048 cargo test -q --release -p saber-verify --test fast_engine_gate
+
 # Concurrency stress: the service's N-worker ≡ sequential equivalence
 # battery across the worker-count matrix, then a bounded deterministic
 # soak (10k mixed KEM ops through a 4-worker pool, spot-checked against
@@ -49,16 +57,24 @@ done
 
 # Engine matrix: the same equivalence battery with each selectable
 # multiplier engine driving the worker shards (ServiceConfig::default
-# reads SABER_ENGINE), so the SWAR backend is exercised under real
-# worker concurrency, not just single-threaded fuzzing.
-echo "==> service stress: engine matrix cached/swar (release)"
-for e in cached swar; do
+# reads SABER_ENGINE), so every hot-path backend — and the auto
+# calibration policy — is exercised under real worker concurrency, not
+# just single-threaded fuzzing.
+echo "==> service stress: engine matrix cached/swar/toom/ntt/auto (release)"
+for e in cached swar toom ntt auto; do
     echo "    SABER_ENGINE=$e"
     SABER_ENGINE=$e cargo test -q --release -p saber-service --test concurrency_equivalence
 done
 
+# Soak the default engine at full depth, then every alternative engine
+# at a reduced budget (the soak is oracle-spot-checked, so even the
+# short runs would catch an engine corrupting state across jobs).
 echo "==> service soak: SABER_SOAK_OPS=10000 (release)"
 SABER_SOAK_OPS=10000 cargo test -q --release -p saber-service --test soak
+for e in swar toom ntt auto; do
+    echo "    SABER_ENGINE=$e SABER_SOAK_OPS=2000"
+    SABER_ENGINE=$e SABER_SOAK_OPS=2000 cargo test -q --release -p saber-service --test soak
+done
 
 # Observability gates. The trace_profile example records one full KEM
 # round trip plus the cycle-model lanes and validates the exported
