@@ -701,6 +701,137 @@ impl TraceBenchReport {
     }
 }
 
+/// One leakage-detector run in the timing derby: a target (engine,
+/// KEM pipeline, or planted mutant), its verdict, and the final Welch
+/// t-statistic behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingLeakEntry {
+    /// Target label, e.g. `mul/ct`, `kem/decaps-ct`,
+    /// `mutant/ct-scan-early-exit`.
+    pub target: String,
+    /// `negative-control` (must pass), `positive-control` (must leak),
+    /// or `survey` (informative only — the variable-time engines).
+    pub role: String,
+    /// Detector verdict: `pass`, `leak`, or `inconclusive`.
+    pub verdict: String,
+    /// Final Welch t-statistic (signed; |t| is what the gate compares).
+    pub t_stat: f64,
+    /// Samples collected before the verdict (early exit on leak).
+    pub samples: usize,
+    /// Samples discarded by the percentile crop.
+    pub cropped: usize,
+}
+
+/// The `BENCH_timing.json` document: per-target leakage verdicts plus
+/// the constant-time engine's throughput cost against the `cached`
+/// baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimingReport {
+    /// All detector runs, controls included.
+    pub entries: Vec<TimingLeakEntry>,
+    /// Single-product latency of the ct engine (ns), if measured.
+    pub ct_ns_per_product: f64,
+    /// Single-product latency of the cached baseline (ns), if measured.
+    pub cached_ns_per_product: f64,
+}
+
+impl TimingReport {
+    /// Records one detector run.
+    pub fn push(
+        &mut self,
+        target: &str,
+        role: &str,
+        verdict: &str,
+        t_stat: f64,
+        samples: usize,
+        cropped: usize,
+    ) {
+        self.entries.push(TimingLeakEntry {
+            target: target.into(),
+            role: role.into(),
+            verdict: verdict.into(),
+            t_stat,
+            samples,
+            cropped,
+        });
+    }
+
+    /// Slowdown of the ct engine vs the cached baseline (e.g. `1.8`
+    /// means the constant-time scan costs 1.8× a cached multiply).
+    #[must_use]
+    pub fn ct_overhead(&self) -> Option<f64> {
+        (self.cached_ns_per_product > 0.0 && self.ct_ns_per_product > 0.0)
+            .then(|| self.ct_ns_per_product / self.cached_ns_per_product)
+    }
+
+    /// Whether every control behaved: negative controls pass, positive
+    /// controls leak. Survey rows never fail the report.
+    #[must_use]
+    pub fn controls_hold(&self) -> bool {
+        self.entries.iter().all(|e| match e.role.as_str() {
+            "negative-control" => e.verdict == "pass",
+            "positive-control" => e.verdict == "leak",
+            _ => true,
+        })
+    }
+
+    /// Serializes as the `BENCH_timing.json` document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"bench\": \"timing_leakage\",\n  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"target\": \"{}\", \"role\": \"{}\", \"verdict\": \"{}\", \
+                 \"t_stat\": {:.3}, \"samples\": {}, \"cropped\": {}}}{}\n",
+                e.target,
+                e.role,
+                e.verdict,
+                e.t_stat,
+                e.samples,
+                e.cropped,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"controls_hold\": {},\n",
+            self.controls_hold()
+        ));
+        out.push_str(&format!(
+            "  \"ct_ns_per_product\": {:.1},\n  \"cached_ns_per_product\": {:.1},\n",
+            self.ct_ns_per_product, self.cached_ns_per_product
+        ));
+        out.push_str(&format!(
+            "  \"ct_overhead_vs_cached\": {:.2}\n}}\n",
+            self.ct_overhead().unwrap_or(0.0)
+        ));
+        out
+    }
+
+    /// Formats the report as a printable text table.
+    #[must_use]
+    pub fn format_text(&self) -> String {
+        let mut out = format!(
+            "{:<28} {:<18} {:<14} {:>10} {:>9} {:>9}\n",
+            "target", "role", "verdict", "t", "samples", "cropped"
+        );
+        out.push_str(&format!("{}\n", "-".repeat(94)));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:<28} {:<18} {:<14} {:>10.2} {:>9} {:>9}\n",
+                e.target, e.role, e.verdict, e.t_stat, e.samples, e.cropped
+            ));
+        }
+        if let Some(overhead) = self.ct_overhead() {
+            out.push_str(&format!(
+                "ct engine cost: {:.0} ns/product vs cached {:.0} ns/product ({overhead:.2}x)\n",
+                self.ct_ns_per_product, self.cached_ns_per_product
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -723,6 +854,37 @@ mod tests {
         let text = r.format_text();
         assert!(text.lines().any(|l| l.contains("swar") && l.contains('◀')));
         assert!(!text.lines().any(|l| l.contains("toom") && l.contains('◀')));
+    }
+
+    #[test]
+    fn timing_report_checks_controls_and_computes_overhead() {
+        let mut r = TimingReport::default();
+        r.push("mul/ct", "negative-control", "pass", 0.8, 2000, 160);
+        r.push("mutant/early-exit", "positive-control", "leak", 64.2, 512, 40);
+        r.push("mul/swar", "survey", "leak", 31.0, 700, 55);
+        assert!(r.controls_hold());
+        r.ct_ns_per_product = 90_000.0;
+        r.cached_ns_per_product = 30_000.0;
+        assert_eq!(r.ct_overhead(), Some(3.0));
+        let json = r.to_json();
+        assert!(json.contains("\"bench\": \"timing_leakage\""));
+        assert!(json.contains("\"controls_hold\": true"));
+        assert!(json.contains("\"ct_overhead_vs_cached\": 3.00"));
+        let text = r.format_text();
+        assert!(text.contains("mutant/early-exit"));
+        assert!(text.contains("3.00x"));
+    }
+
+    #[test]
+    fn timing_report_flags_misbehaving_controls() {
+        let mut r = TimingReport::default();
+        r.push("mul/ct", "negative-control", "leak", 12.0, 900, 70);
+        assert!(!r.controls_hold(), "a leaking ct engine must fail");
+        let mut r = TimingReport::default();
+        r.push("mutant/early-exit", "positive-control", "pass", 1.0, 2000, 160);
+        assert!(!r.controls_hold(), "an undetected mutant must fail");
+        let survey_only = TimingReport::default();
+        assert!(survey_only.ct_overhead().is_none(), "unmeasured overhead");
     }
 
     #[test]

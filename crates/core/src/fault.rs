@@ -197,6 +197,143 @@ impl PolyMultiplier for FaultyMultiplier {
     }
 }
 
+/// The catalogue of seeded *timing* faults: mutants that compute the
+/// **correct** product with secret-dependent execution time.
+///
+/// These are the positive controls for the `saber-timing` leakage
+/// harness, playing the role [`Fault`] plays for the differential
+/// fuzzer: a statistical timing gate is only trustworthy if it
+/// demonstrably fires when a backend's timing *does* depend on the
+/// secret. Because every output is bit-exact, the differential fuzzer
+/// is blind to these by construction — only the fixed-vs-random timing
+/// test can catch them, which is exactly what the CI `timing_gate`
+/// asserts. They are deliberately a separate enum from [`Fault`]:
+/// the sensitivity gate requires every [`Fault`] to change some
+/// product, and these never do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimingFault {
+    /// The constant-time scan with its uniformity removed: zero secret
+    /// coefficients skip their entire accumulation pass (a
+    /// "harmless-looking" optimization that makes runtime proportional
+    /// to the secret's support — the exact leak
+    /// `saber_ring::ct::CtSchoolbookMultiplier` exists to avoid).
+    CtScanEarlyExit,
+    /// A SWAR-style row pipeline whose magnitude rows are built
+    /// unconditionally but whose *negative* rows take an extra explicit
+    /// negation pass — runtime depends on the secret's sign pattern,
+    /// the data-dependent branch the real `saber_ring::swar` engine
+    /// hides inside its complement trick.
+    SwarRowSelectBranch,
+}
+
+impl TimingFault {
+    /// Every timing fault (the `timing_gate` iterates this).
+    pub const ALL: [TimingFault; 2] = [
+        TimingFault::CtScanEarlyExit,
+        TimingFault::SwarRowSelectBranch,
+    ];
+
+    /// Short human-readable label (used in mutant names and reports).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TimingFault::CtScanEarlyExit => "ct scan early-exit on zero",
+            TimingFault::SwarRowSelectBranch => "SWAR row-select sign branch",
+        }
+    }
+}
+
+/// A multiplier backend that computes correct products with one seeded
+/// [`TimingFault`] — secret-dependent timing, bit-exact output.
+#[derive(Debug, Clone)]
+pub struct TimingLeakMultiplier {
+    fault: TimingFault,
+    name: String,
+}
+
+impl TimingLeakMultiplier {
+    /// Creates the timing mutant for `fault`.
+    #[must_use]
+    pub fn new(fault: TimingFault) -> Self {
+        Self {
+            fault,
+            name: format!("timing mutant: {}", fault.label()),
+        }
+    }
+
+    /// The seeded timing fault.
+    #[must_use]
+    pub fn fault(&self) -> TimingFault {
+        self.fault
+    }
+}
+
+impl PolyMultiplier for TimingLeakMultiplier {
+    fn multiply(&mut self, public: &PolyQ, secret: &SecretPoly) -> PolyQ {
+        match self.fault {
+            TimingFault::CtScanEarlyExit => ct_scan_early_exit(public, secret),
+            TimingFault::SwarRowSelectBranch => swar_row_select_branch(public, secret),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Negacyclic fold shared by the timing mutants: `x^(k+N) ≡ -x^k`.
+fn fold_negacyclic(acc: &[i64; 2 * N]) -> PolyQ {
+    let mut folded = [0i64; N];
+    for (k, out) in folded.iter_mut().enumerate() {
+        *out = acc[k] - acc[k + N];
+    }
+    PolyQ::from_signed(&folded)
+}
+
+/// The ct scan with a secret-dependent early exit: zero coefficients
+/// contribute nothing, so skipping them is *functionally* free — and
+/// makes runtime proportional to the secret's support.
+fn ct_scan_early_exit(public: &PolyQ, secret: &SecretPoly) -> PolyQ {
+    let a = public.to_i64();
+    let mut acc = [0i64; 2 * N];
+    for (j, &c) in secret.coeffs().iter().enumerate() {
+        if c == 0 {
+            continue; // the planted leak: work ∝ nonzero count
+        }
+        let sj = i64::from(c);
+        for (slot, &av) in acc[j..j + N].iter_mut().zip(a.iter()) {
+            *slot += sj * av;
+        }
+    }
+    fold_negacyclic(&acc)
+}
+
+/// A row pipeline with a data-dependent sign branch: every coefficient
+/// (zeros included) pays the same magnitude-row build, but negative
+/// coefficients take an extra whole-row negation pass — runtime depends
+/// on the secret's sign pattern, not its support.
+fn swar_row_select_branch(public: &PolyQ, secret: &SecretPoly) -> PolyQ {
+    let a = public.to_i64();
+    let mut acc = [0i64; 2 * N];
+    let mut row = [0i64; N];
+    for (j, &c) in secret.coeffs().iter().enumerate() {
+        let mag = i64::from(c.unsigned_abs());
+        for (r, &av) in row.iter_mut().zip(a.iter()) {
+            *r = mag * av;
+        }
+        if c < 0 {
+            // The planted leak: only negative rows pay this pass.
+            for r in &mut row {
+                *r = -*r;
+            }
+        }
+        for (slot, &rv) in acc[j..j + N].iter_mut().zip(row.iter()) {
+            *slot += rv;
+        }
+    }
+    fold_negacyclic(&acc)
+}
+
 fn add13(slot: &mut u16, value: u32, negate: bool) {
     let v = if negate { 0u32.wrapping_sub(value) } else { value };
     *slot = (u32::from(*slot).wrapping_add(v) & MASK13) as u16;
@@ -629,5 +766,46 @@ mod tests {
             mutant.multiply(&a, &positive),
             schoolbook::mul_asym(&a, &positive)
         );
+    }
+
+    #[test]
+    fn timing_mutants_compute_correct_products() {
+        // The defining property: bit-exact output, so only a *timing*
+        // test can tell these from an honest backend. Sweep dense
+        // mixed-sign, all-positive, sparse, and zero secrets.
+        let a = PolyQ::from_fn(|i| (i as u16).wrapping_mul(4099) & 0x1fff);
+        let secrets = [
+            SecretPoly::from_fn(|i| (((i * 7) % 11) as i8) - 5),
+            SecretPoly::from_fn(|i| ((i * 3) % 6) as i8),
+            SecretPoly::from_fn(|i| if i % 37 == 0 { -4 } else { 0 }),
+            SecretPoly::zero(),
+        ];
+        for fault in TimingFault::ALL {
+            let mut mutant = TimingLeakMultiplier::new(fault);
+            for s in &secrets {
+                assert_eq!(
+                    mutant.multiply(&a, s),
+                    schoolbook::mul_asym(&a, s),
+                    "timing fault {fault:?} must stay bit-exact"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timing_mutant_names_are_distinct() {
+        let mut names: Vec<String> = TimingFault::ALL
+            .into_iter()
+            .map(|f| TimingLeakMultiplier::new(f).name().to_string())
+            .collect();
+        names.extend(
+            Fault::ALL
+                .into_iter()
+                .map(|f| FaultyMultiplier::new(f).name().to_string()),
+        );
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before, "mutant names must be unique");
     }
 }

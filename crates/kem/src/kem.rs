@@ -49,6 +49,19 @@ impl fmt::Debug for SharedSecret {
     }
 }
 
+impl crate::secret::Zeroize for SharedSecret {
+    fn zeroize(&mut self) {
+        crate::secret::wipe_bytes(&mut self.0);
+    }
+}
+
+impl Drop for SharedSecret {
+    fn drop(&mut self) {
+        crate::secret::Zeroize::zeroize(self);
+        saber_trace::counter("kem", crate::secret::SHARED_ZEROIZED, 1);
+    }
+}
+
 /// The KEM secret key: the CPA key plus the FO transform state.
 #[derive(Clone)]
 pub struct KemSecretKey {
@@ -105,6 +118,27 @@ impl KemSecretKey {
     #[must_use]
     pub fn params(&self) -> &SaberParams {
         &self.public_key.params
+    }
+}
+
+impl crate::secret::Zeroize for KemSecretKey {
+    fn zeroize(&mut self) {
+        // `z` is the implicit-rejection secret; the nested CPA key wipes
+        // its secret vector. `pk_hash` and the embedded public key are
+        // public values and stay readable.
+        crate::secret::wipe_bytes(&mut self.z);
+        crate::secret::Zeroize::zeroize(&mut self.cpa);
+    }
+}
+
+impl Drop for KemSecretKey {
+    fn drop(&mut self) {
+        // Only `z` is wiped here: the nested `cpa` field's own `Drop`
+        // runs right after this body and wipes the secret vector (and
+        // emits its own counter), so wiping it here too would be
+        // redundant work on every drop.
+        crate::secret::wipe_bytes(&mut self.z);
+        saber_trace::counter("kem", crate::secret::KEM_SK_ZEROIZED, 1);
     }
 }
 
@@ -220,7 +254,10 @@ pub fn decaps<M: PolyMultiplier + ?Sized>(
     let (khat_prime, coins_prime) = g_split(&sk.pk_hash, &m_prime);
     let ct_prime = pke::encrypt(&sk.public_key, &m_prime, &coins_prime, backend);
     let ct_bytes = serialize::ciphertext_to_bytes(ct, sk.params());
-    if ct_prime == *ct {
+    // FO re-encryption check in constant time: a short-circuiting `==`
+    // would leak how long a forged ciphertext's matching prefix is.
+    let ct_prime_bytes = serialize::ciphertext_to_bytes(&ct_prime, sk.params());
+    if crate::secret::ct_eq(&ct_prime_bytes, &ct_bytes) {
         final_key(&khat_prime, &ct_bytes)
     } else {
         final_key(&sk.z, &ct_bytes)

@@ -38,8 +38,10 @@ pub mod expand;
 pub mod kem;
 pub mod params;
 pub mod pke;
+pub mod secret;
 pub mod serialize;
 
 pub use kem::{decaps, encaps, keygen, KemSecretKey, SharedSecret};
+pub use secret::Zeroize;
 pub use params::{SaberParams, ALL_PARAMS, FIRE_SABER, LIGHT_SABER, SABER};
 pub use pke::{Ciphertext, PublicKey};

@@ -1,6 +1,6 @@
 //! Startup engine auto-tuner.
 //!
-//! With four hot-path engines available ([`EngineKind::ALL`]) the best
+//! With five hot-path engines available ([`EngineKind::ALL`]) the best
 //! choice depends on the machine and the workload shape — exactly the
 //! trade the paper's §5 design-space tables chart in hardware. Instead
 //! of hardcoding a winner, `SABER_ENGINE=auto` runs a short **seeded
@@ -13,8 +13,18 @@
 //! `cached` engine; combined with `cached` always being a candidate this
 //! gives the auto-tuner's contract: **it never selects an engine that
 //! measured slower than `cached` on the calibration workload.**
+//!
+//! Timing discipline: each engine first runs the *whole* sweep once
+//! untimed (first-touch page faults on scratch arenas and lazily-built
+//! tables land there, not in the measurement), then [`REPS`] timed
+//! repetitions are taken through an injectable [`Clock`] and the
+//! **minimum** repetition is the engine's score — the minimum is the
+//! standard robust estimator for "how fast can this code go", immune to
+//! a scheduler preemption inflating one rep. Before this fix the first
+//! candidate raced paid its page faults inside the timed region, biasing
+//! the argmin against whichever engine happened to run first.
 
-use std::time::Instant;
+use saber_trace::clock::{Clock, MonotonicClock};
 
 use crate::engine::EngineKind;
 use crate::poly::PolyQ;
@@ -31,15 +41,18 @@ pub const CALIBRATION_BATCHES: [usize; 2] = [1, 16];
 /// FireSaber).
 pub const CALIBRATION_BOUNDS: [i8; 3] = [5, 4, 3];
 
-/// Timed repetitions of the full workload sweep per engine.
-const REPS: usize = 2;
+/// Timed repetitions of the full workload sweep per engine (the score
+/// is the minimum over these, after one untimed warm-up sweep).
+pub const REPS: usize = 3;
 
 /// One engine's measured cost over the whole calibration sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CalibrationSample {
     /// The engine measured.
     pub engine: EngineKind,
-    /// Total wall-clock nanoseconds across every (bound, batch) shape.
+    /// Best (minimum) wall-clock nanoseconds for one full sweep across
+    /// every (bound, batch) shape, taken over [`REPS`] timed repetitions
+    /// after an untimed warm-up sweep.
     pub total_nanos: u128,
 }
 
@@ -102,28 +115,49 @@ pub fn calibrate() -> Calibration {
     calibrate_with_seed(CALIBRATION_SEED)
 }
 
-/// Runs a calibration over operands derived from `seed`.
+/// Runs a calibration over operands derived from `seed` with the
+/// production wall clock.
 #[must_use]
 pub fn calibrate_with_seed(seed: u64) -> Calibration {
+    calibrate_with_clock(seed, &mut MonotonicClock)
+}
+
+/// One full pass over the calibration sweep on `shard`.
+fn run_sweep(shard: &mut (dyn crate::mul::PolyMultiplier + Send), sweep: &[Workload]) {
+    for w in sweep {
+        let ops: Vec<(&PolyQ, &SecretPoly)> = w.publics.iter().map(|a| (a, &w.secret)).collect();
+        let _ = shard.multiply_batch(&ops);
+    }
+}
+
+/// Runs a calibration over operands derived from `seed`, reading time
+/// through `clock` — tests inject a scripted [`saber_trace::FakeClock`]
+/// to pin the argmin behavior down deterministically.
+#[must_use]
+pub fn calibrate_with_clock(seed: u64, clock: &mut dyn Clock) -> Calibration {
     let sweep = workloads(seed);
     let mut samples = Vec::with_capacity(EngineKind::ALL.len());
     for kind in EngineKind::ALL {
         let mut shard = kind.build();
-        // Warmup outside the timed region: faults in lazily-built tables
-        // (Toom interpolation matrix, CRT twiddles) and touches every
-        // scratch buffer once, so the timing sees steady-state cost.
-        let _ = shard.multiply(&sweep[0].publics[0], &sweep[0].secret);
-        let start = Instant::now();
+        // Warm-up: one *untimed* run of the full sweep, so first-touch
+        // page faults on scratch arenas and lazily-built tables (Toom
+        // interpolation matrix, CRT twiddles, cache buckets) are paid
+        // before any clock reading. A single warm-up multiply is not
+        // enough — the larger batch shapes touch buffers the first
+        // multiply never reaches.
+        run_sweep(shard.as_mut(), &sweep);
+        // Score = minimum over REPS timed repetitions: excludes any
+        // residual one-off cost or preemption from the argmin.
+        let mut best = u128::MAX;
         for _ in 0..REPS {
-            for w in &sweep {
-                let ops: Vec<(&PolyQ, &SecretPoly)> =
-                    w.publics.iter().map(|a| (a, &w.secret)).collect();
-                let _ = shard.multiply_batch(&ops);
-            }
+            let start = clock.now_ns();
+            run_sweep(shard.as_mut(), &sweep);
+            let end = clock.now_ns();
+            best = best.min(u128::from(end.saturating_sub(start)));
         }
         samples.push(CalibrationSample {
             engine: kind,
-            total_nanos: start.elapsed().as_nanos(),
+            total_nanos: best,
         });
     }
     let chosen = samples
@@ -165,6 +199,46 @@ mod tests {
             winner.total_nanos,
             cached.total_nanos
         );
+    }
+
+    #[test]
+    fn warm_up_and_argmin_exclude_the_inflated_first_repetition() {
+        // Regression test for the warm-up bias fix: a scripted clock
+        // hands the *second* candidate (swar) a wildly inflated first
+        // timed repetition — the shape a first-touch page fault produces
+        // — while its remaining reps are the fastest of any engine. The
+        // min-over-reps score must discard the outlier and pick swar.
+        // The pre-fix code (one timed region summing every rep) scored
+        // swar 10,100 ns vs cached 300 ns and chose cached instead.
+        use saber_trace::clock::FakeClock;
+
+        // 5 engines × REPS timed sweeps × 2 clock reads each. Per-rep
+        // durations: cached [100,100,100], swar [10000,50,50],
+        // toom/ntt [500,500,500], ct [900,900,900].
+        assert_eq!(EngineKind::ALL.len(), 5);
+        assert_eq!(REPS, 3);
+        let script = vec![
+            0, 100, 100, 200, 200, 300, // cached
+            300, 10_300, 10_300, 10_350, 10_350, 10_400, // swar
+            10_400, 10_900, 10_900, 11_400, 11_400, 11_900, // toom
+            11_900, 12_400, 12_400, 12_900, 12_900, 13_400, // ntt
+            13_400, 14_300, 14_300, 15_200, 15_200, 16_100, // ct
+        ];
+        let expected_calls = script.len();
+        let mut clock = FakeClock::scripted(script);
+        let cal = calibrate_with_clock(7, &mut clock);
+        assert_eq!(
+            clock.calls(),
+            expected_calls,
+            "warm-up sweeps must not consume clock readings"
+        );
+        assert_eq!(cal.sample(EngineKind::Cached).unwrap().total_nanos, 100);
+        assert_eq!(
+            cal.sample(EngineKind::Swar).unwrap().total_nanos,
+            50,
+            "the inflated first repetition must be excluded from the score"
+        );
+        assert_eq!(cal.chosen, EngineKind::Swar);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Constant-time schoolbook multiplier: secret-independent scan order
+//! and memory access pattern.
+//!
+//! The fast software engines in this workspace all trade timing
+//! uniformity for speed in ways that depend on the *secret* operand:
+//!
+//! - the HS-I cached engine ([`crate::cached`]) builds value-indexed
+//!   buckets and scans only the positions holding each nonzero secret
+//!   value, so its work is proportional to the secret's support;
+//! - the HS-II SWAR engine ([`crate::swar`]) takes a complement-trick
+//!   path only for negative packed rows, so its work depends on the
+//!   secret's sign pattern;
+//! - Toom/NTT evaluate the secret operand through data-dependent
+//!   normalization steps.
+//!
+//! [`CtSchoolbookMultiplier`] is the hardened alternative
+//! (`SABER_ENGINE=ct`): a fixed-order 256 × 256 multiply-accumulate
+//! scan whose iteration count, branch trace, and memory addresses are
+//! identical for every secret in the domain. There is no zero skip, no
+//! sign branch, and no value-indexed table — coefficient `j` of the
+//! secret always touches accumulator slots `j .. j + 256` in the same
+//! order, whatever its value.
+//!
+//! The residual assumption, standard for this style of hardening, is
+//! that the CPU's integer multiply has operand-independent latency
+//! (true of every mainstream 64-bit core; see DESIGN.md §14 for the
+//! threat model). The `saber-timing` crate's dudect-style harness is
+//! the *measured* check on that assumption: this engine is the one
+//! backend expected to pass the fixed-vs-random leakage gate.
+//!
+//! Bound: `|acc[k]| ≤ 256 · 5 · 8191 < 2^24`, and the negacyclic fold
+//! subtracts two such terms, so an `i64` accumulator is exact with room
+//! to spare under `overflow-checks`.
+
+use crate::modulus::N;
+use crate::mul::PolyMultiplier;
+use crate::poly::PolyQ;
+use crate::secret::SecretPoly;
+
+/// Constant-time fixed-scan schoolbook backend (`SABER_ENGINE=ct`).
+///
+/// # Examples
+///
+/// ```
+/// use saber_ring::mul::{PolyMultiplier, SchoolbookMultiplier};
+/// use saber_ring::{CtSchoolbookMultiplier, PolyQ, SecretPoly};
+///
+/// let a = PolyQ::from_fn(|i| (i as u16 * 31) & 0x1fff);
+/// let s = SecretPoly::from_fn(|i| ((i % 11) as i8) - 5);
+/// let mut ct = CtSchoolbookMultiplier::new();
+/// let mut oracle = SchoolbookMultiplier;
+/// assert_eq!(ct.multiply(&a, &s), oracle.multiply(&a, &s));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtSchoolbookMultiplier {
+    /// 2N-wide product accumulator, reused across calls so the hot loop
+    /// never allocates. Its address pattern is independent of the
+    /// secret: pass `j` always writes `acc[j .. j + N]`.
+    acc: Vec<i64>,
+}
+
+impl Default for CtSchoolbookMultiplier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CtSchoolbookMultiplier {
+    /// A fresh engine with its accumulator arena allocated up front.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { acc: vec![0i64; 2 * N] }
+    }
+}
+
+impl PolyMultiplier for CtSchoolbookMultiplier {
+    fn multiply(&mut self, public: &PolyQ, secret: &SecretPoly) -> PolyQ {
+        let a = public.to_i64();
+        self.acc.fill(0);
+        // Fixed scan: every secret coefficient — zero, positive, or
+        // negative — performs exactly N multiply-accumulates over the
+        // same contiguous window. No early exit, no sign branch.
+        for (j, &c) in secret.coeffs().iter().enumerate() {
+            let sj = i64::from(c);
+            for (slot, &av) in self.acc[j..j + N].iter_mut().zip(a.iter()) {
+                *slot += sj * av;
+            }
+        }
+        // Negacyclic fold: x^(k+N) ≡ -x^k in Z[x]/(x^N + 1). The fold
+        // reads every slot unconditionally, so it is as uniform as the
+        // scan above.
+        let mut folded = [0i64; N];
+        for (k, out) in folded.iter_mut().enumerate() {
+            *out = self.acc[k] - self.acc[k + N];
+        }
+        PolyQ::from_signed(&folded)
+    }
+
+    // multiply_batch: the trait default (a plain map over `multiply`)
+    // is already secret-independent — no override, so the batch path
+    // inherits the uniform scan verbatim.
+
+    fn name(&self) -> &str {
+        "ct-schoolbook constant-time (software)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mul::SchoolbookMultiplier;
+    use saber_testkit::Rng;
+
+    #[test]
+    fn matches_the_schoolbook_oracle_on_random_operands() {
+        let mut rng = Rng::new(0x5ABE_C701);
+        let mut ct = CtSchoolbookMultiplier::new();
+        let mut oracle = SchoolbookMultiplier;
+        for _ in 0..24 {
+            let a = PolyQ::from_fn(|_| (rng.next_u32() & 0x1fff) as u16);
+            let s = SecretPoly::from_fn(|_| rng.secret_coeff(5));
+            assert_eq!(ct.multiply(&a, &s), oracle.multiply(&a, &s));
+        }
+    }
+
+    #[test]
+    fn zero_secret_yields_zero_product() {
+        let mut ct = CtSchoolbookMultiplier::new();
+        let a = PolyQ::from_fn(|i| (i as u16) & 0x1fff);
+        let product = ct.multiply(&a, &SecretPoly::zero());
+        assert_eq!(product, PolyQ::zero());
+    }
+
+    #[test]
+    fn extreme_magnitude_secrets_stay_exact() {
+        // All-(+5) and all-(-5) secrets maximize the accumulator bound.
+        let mut ct = CtSchoolbookMultiplier::new();
+        let mut oracle = SchoolbookMultiplier;
+        let a = PolyQ::from_fn(|_| 0x1fff);
+        for mag in [5i8, -5] {
+            let s = SecretPoly::from_fn(|_| mag);
+            assert_eq!(ct.multiply(&a, &s), oracle.multiply(&a, &s));
+        }
+    }
+}

@@ -1,15 +1,18 @@
 //! Hot-path engine selection.
 //!
-//! Four software backends implement the full-magnitude (|s| ≤ 5)
-//! asymmetric multiply fast enough to serve the KEM hot path: the HS-I
-//! mirror ([`CachedSchoolbookMultiplier`]), the HS-II SWAR mirror
-//! ([`SwarMultiplier`]), batched Toom-Cook-4 ([`ToomCook4Engine`]) and
-//! batched NTT-over-CRT ([`NttCrtEngine`]). [`EngineKind`] names them,
-//! parses the `SABER_ENGINE` environment variable, and builds boxed
-//! shards for the service layer's worker threads. The pseudo-kind
-//! [`EngineKind::Auto`] defers the choice to a startup calibration
-//! ([`crate::autotune`]) that races every candidate on a seeded
-//! workload and keeps the winner.
+//! Five software backends implement the full-magnitude (|s| ≤ 5)
+//! asymmetric multiply on the KEM hot path: the HS-I mirror
+//! ([`CachedSchoolbookMultiplier`]), the HS-II SWAR mirror
+//! ([`SwarMultiplier`]), batched Toom-Cook-4 ([`ToomCook4Engine`]),
+//! batched NTT-over-CRT ([`NttCrtEngine`]), and the constant-time
+//! fixed-scan schoolbook ([`CtSchoolbookMultiplier`] — slower, but its
+//! timing is secret-independent and the `saber-timing` leakage gate
+//! holds it to that). [`EngineKind`] names them, parses the
+//! `SABER_ENGINE` environment variable, and builds boxed shards for the
+//! service layer's worker threads. The pseudo-kind [`EngineKind::Auto`]
+//! defers the choice to a startup calibration ([`crate::autotune`])
+//! that races every candidate on a seeded workload and keeps the
+//! winner.
 //!
 //! # Examples
 //!
@@ -22,11 +25,13 @@
 //! assert_eq!(EngineKind::parse("cached"), Some(EngineKind::Cached));
 //! assert_eq!(EngineKind::parse("toom"), Some(EngineKind::Toom));
 //! assert_eq!(EngineKind::parse("ntt"), Some(EngineKind::Ntt));
+//! assert_eq!(EngineKind::parse("ct"), Some(EngineKind::Ct));
 //! assert_eq!(EngineKind::parse("auto"), Some(EngineKind::Auto));
 //! assert_eq!(EngineKind::parse("fft"), None);
 //! ```
 
 use crate::cached::CachedSchoolbookMultiplier;
+use crate::ct::CtSchoolbookMultiplier;
 use crate::mul::PolyMultiplier;
 use crate::ntt_crt_engine::NttCrtEngine;
 use crate::swar::SwarMultiplier;
@@ -47,6 +52,8 @@ pub enum EngineKind {
     Toom,
     /// Batched two-prime NTT with CRT recombination.
     Ntt,
+    /// Constant-time fixed-scan schoolbook: secret-independent timing.
+    Ct,
     /// Startup calibration picks the fastest concrete engine per shard.
     Auto,
 }
@@ -56,16 +63,18 @@ impl EngineKind {
     /// (ties break toward the front, so `cached` wins a dead heat).
     /// [`EngineKind::Auto`] is a selection policy, not an engine, and is
     /// deliberately absent.
-    pub const ALL: [EngineKind; 4] = [
+    pub const ALL: [EngineKind; 5] = [
         EngineKind::Cached,
         EngineKind::Swar,
         EngineKind::Toom,
         EngineKind::Ntt,
+        EngineKind::Ct,
     ];
 
     /// Parses an engine label (case-insensitive): `"cached"`, `"swar"`,
-    /// `"toom"`, `"ntt"` or `"auto"`, plus the hardware-schedule aliases
-    /// `"hs1"`/`"hs2"` and the long forms `"toom4"`/`"ntt-crt"`.
+    /// `"toom"`, `"ntt"`, `"ct"` or `"auto"`, plus the hardware-schedule
+    /// aliases `"hs1"`/`"hs2"` and the long forms `"toom4"`/`"ntt-crt"`/
+    /// `"ct-schoolbook"`.
     #[must_use]
     pub fn parse(label: &str) -> Option<Self> {
         match label.trim().to_ascii_lowercase().as_str() {
@@ -73,6 +82,7 @@ impl EngineKind {
             "swar" | "hs2" => Some(EngineKind::Swar),
             "toom" | "toom4" => Some(EngineKind::Toom),
             "ntt" | "ntt-crt" => Some(EngineKind::Ntt),
+            "ct" | "ct-schoolbook" => Some(EngineKind::Ct),
             "auto" => Some(EngineKind::Auto),
             _ => None,
         }
@@ -91,7 +101,7 @@ impl EngineKind {
             Ok(label) => Self::parse(&label).unwrap_or_else(|| {
                 panic!(
                     "{ENGINE_ENV}={label:?}: unknown engine (expected \"cached\", \
-                     \"swar\", \"toom\", \"ntt\" or \"auto\")"
+                     \"swar\", \"toom\", \"ntt\", \"ct\" or \"auto\")"
                 )
             }),
             Err(_) => EngineKind::default(),
@@ -106,6 +116,7 @@ impl EngineKind {
             EngineKind::Swar => "swar",
             EngineKind::Toom => "toom",
             EngineKind::Ntt => "ntt",
+            EngineKind::Ct => "ct",
             EngineKind::Auto => "auto",
         }
     }
@@ -122,6 +133,7 @@ impl EngineKind {
             EngineKind::Swar => Box::new(SwarMultiplier::new()),
             EngineKind::Toom => Box::new(ToomCook4Engine::new()),
             EngineKind::Ntt => Box::new(NttCrtEngine::new()),
+            EngineKind::Ct => Box::new(CtSchoolbookMultiplier::new()),
             EngineKind::Auto => self.resolve().shard,
         }
     }

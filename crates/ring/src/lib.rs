@@ -31,6 +31,9 @@
 //!   engines: batched Toom-4 (Karatsuba base case, per-secret point
 //!   evaluations cached) and batched two-prime NTT-CRT (per-secret
 //!   forward transforms cached), both allocation-free after warmup;
+//! * [`ct`] — the constant-time fixed-scan schoolbook engine
+//!   (`SABER_ENGINE=ct`): secret-independent scan order and memory
+//!   access pattern, held to that claim by the `saber-timing` gate;
 //! * [`autotune`] — the startup calibration that picks the fastest
 //!   engine per shard when `SABER_ENGINE=auto`;
 //! * [`rounding`], [`packing`], [`matrix`] — the scaling, serialization
@@ -55,6 +58,7 @@
 
 pub mod autotune;
 pub mod cached;
+pub mod ct;
 pub mod engine;
 pub mod karatsuba;
 pub mod matrix;
@@ -73,6 +77,7 @@ pub mod toom;
 pub mod toom_engine;
 
 pub use cached::CachedSchoolbookMultiplier;
+pub use ct::CtSchoolbookMultiplier;
 pub use engine::EngineKind;
 pub use matrix::{PolyMatrix, PolyVec, SecretVec};
 pub use modulus::{EPS_P, EPS_Q, N, P, Q};

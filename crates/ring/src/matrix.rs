@@ -198,6 +198,13 @@ impl SecretVec {
         Self { polys }
     }
 
+    /// Zeroizes every entry in place (see [`SecretPoly::zeroize`]).
+    pub fn zeroize(&mut self) {
+        for p in &mut self.polys {
+            p.zeroize();
+        }
+    }
+
     /// Number of entries.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -62,6 +62,24 @@ impl SecretPoly {
         Self { coeffs: [0; N] }
     }
 
+    /// Overwrites every coefficient with zero, in place.
+    ///
+    /// This is the wipe the KEM layer's drop-time secret hygiene
+    /// (`saber_kem::secret`) runs on long-lived key material. The
+    /// [`std::hint::black_box`] afterwards is a best-effort barrier
+    /// against the store being elided as dead (the workspace forbids
+    /// `unsafe`, so a volatile write is not available); the KEM tests
+    /// verify the cleared state through this still-live binding.
+    ///
+    /// `SecretPoly` deliberately has **no** `Drop` impl — transient
+    /// copies churn through hot paths (`mul_by_x` rotation chains,
+    /// batch grouping) where an unconditional wipe would cost real
+    /// throughput. Long-lived holders opt in instead.
+    pub fn zeroize(&mut self) {
+        self.coeffs = [0; N];
+        std::hint::black_box(&mut self.coeffs);
+    }
+
     /// Builds a secret from a coefficient function.
     ///
     /// # Panics
@@ -247,5 +265,14 @@ mod tests {
     fn max_magnitude_reported() {
         let s = SecretPoly::from_fn(|i| if i == 100 { -5 } else { 1 });
         assert_eq!(s.max_magnitude(), 5);
+    }
+
+    #[test]
+    fn zeroize_clears_every_coefficient() {
+        let mut s = SecretPoly::from_fn(|i| ((i % 11) as i8) - 5);
+        assert!(s.iter().any(|&c| c != 0));
+        s.zeroize();
+        assert!(s.iter().all(|&c| c == 0));
+        assert_eq!(s, SecretPoly::zero());
     }
 }

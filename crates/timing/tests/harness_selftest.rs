@@ -1,0 +1,169 @@
+//! Deterministic self-tests of the detector through a virtual clock.
+//!
+//! The ISSUE's point of the `Clock` trait: the statistics machinery
+//! itself must be assertable without real time. A `VirtualClock` and
+//! the targets below share one virtual-time cell; `execute` advances it
+//! by a scripted, class-dependent amount, so verdicts, means, crops and
+//! early exits are exact functions of the seed — no flake, no sleeps.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use saber_testkit::Rng;
+use saber_timing::{detect, Class, TimingConfig, TimingTarget, Verdict};
+use saber_trace::clock::Clock;
+
+/// Reads the shared virtual-time cell.
+struct VirtualClock(Rc<Cell<u64>>);
+
+impl Clock for VirtualClock {
+    fn now_ns(&mut self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// Advances virtual time by `base + class_extra + jitter` per execute.
+struct ScriptedTarget {
+    time: Rc<Cell<u64>>,
+    fixed_cost: u64,
+    random_cost: u64,
+    jitter_span: u64,
+    /// Every `spike_every`-th execute (if nonzero) adds a huge outlier,
+    /// class-independently — the shape cropping exists to absorb.
+    spike_every: u64,
+    executions: u64,
+}
+
+impl ScriptedTarget {
+    fn new(time: &Rc<Cell<u64>>, fixed_cost: u64, random_cost: u64) -> Self {
+        Self {
+            time: Rc::clone(time),
+            fixed_cost,
+            random_cost,
+            jitter_span: 40,
+            spike_every: 0,
+            executions: 0,
+        }
+    }
+}
+
+impl TimingTarget for ScriptedTarget {
+    type Input = (Class, u64);
+
+    fn prepare(&mut self, class: Class, rng: &mut Rng) -> Self::Input {
+        (class, rng.next_u64() % self.jitter_span.max(1))
+    }
+
+    fn execute(&mut self, input: &Self::Input) {
+        self.executions += 1;
+        let base = match input.0 {
+            Class::Fixed => self.fixed_cost,
+            Class::Random => self.random_cost,
+        };
+        let spike = if self.spike_every != 0 && self.executions.is_multiple_of(self.spike_every) {
+            1_000_000
+        } else {
+            0
+        };
+        self.time.set(self.time.get() + base + input.1 + spike);
+    }
+}
+
+fn cfg() -> TimingConfig {
+    let mut cfg = TimingConfig::with_samples(2000);
+    cfg.seed = 0xDE7EC7;
+    cfg
+}
+
+#[test]
+fn equal_class_costs_pass() {
+    let time = Rc::new(Cell::new(0));
+    let mut target = ScriptedTarget::new(&time, 1000, 1000);
+    let report = detect(&mut target, &cfg(), &mut VirtualClock(Rc::clone(&time)));
+    assert_eq!(report.verdict, Verdict::Pass, "{report}");
+    assert!(
+        report.t_stat.abs() < cfg().threshold,
+        "identical distributions must stay under the gate: {report}"
+    );
+    assert_eq!(report.samples_collected, 2000);
+    assert!(report.kept_fixed + report.kept_random >= cfg().min_kept);
+}
+
+#[test]
+fn class_dependent_cost_is_flagged_and_exits_early() {
+    let time = Rc::new(Cell::new(0));
+    // Random class 10% slower than fixed — comfortably beyond the
+    // jitter, as a planted timing leak would be.
+    let mut target = ScriptedTarget::new(&time, 1000, 1100);
+    let report = detect(&mut target, &cfg(), &mut VirtualClock(Rc::clone(&time)));
+    assert_eq!(report.verdict, Verdict::Leak, "{report}");
+    assert!(report.is_leak());
+    assert!(
+        report.mean_random_ns > report.mean_fixed_ns,
+        "the slower class must show the larger mean: {report}"
+    );
+    assert!(
+        report.samples_collected < 2000,
+        "a 10% separation must not need the whole budget: {report}"
+    );
+    assert!(report.samples_collected >= cfg().min_leak_samples);
+}
+
+#[test]
+fn early_exit_respects_the_min_leak_floor() {
+    let time = Rc::new(Cell::new(0));
+    // An enormous separation is detectable within one window, but the
+    // verdict must still wait for min_leak_samples.
+    let mut target = ScriptedTarget::new(&time, 1000, 5000);
+    let report = detect(&mut target, &cfg(), &mut VirtualClock(Rc::clone(&time)));
+    assert_eq!(report.verdict, Verdict::Leak);
+    assert!(
+        report.samples_collected >= cfg().min_leak_samples,
+        "leak verdicts below the sample floor are forbidden: {report}"
+    );
+}
+
+#[test]
+fn class_blind_spikes_are_cropped_not_flagged() {
+    let time = Rc::new(Cell::new(0));
+    // Equal base costs plus a periodic 1,000,000 ns outlier hitting
+    // whichever class happens to be measured — scheduler-preemption
+    // noise. Cropping must absorb it; without cropping the variance
+    // these inject would leave the verdict to luck.
+    let mut target = ScriptedTarget::new(&time, 1000, 1000);
+    target.spike_every = 13;
+    let report = detect(&mut target, &cfg(), &mut VirtualClock(Rc::clone(&time)));
+    assert_eq!(report.verdict, Verdict::Pass, "{report}");
+    assert!(report.cropped > 0, "the spikes must actually be cropped");
+}
+
+#[test]
+fn insufficient_kept_measurements_are_inconclusive_not_pass() {
+    let time = Rc::new(Cell::new(0));
+    let mut target = ScriptedTarget::new(&time, 1000, 1000);
+    let mut config = cfg();
+    config.min_kept = usize::MAX;
+    let report = detect(&mut target, &config, &mut VirtualClock(Rc::clone(&time)));
+    assert_eq!(
+        report.verdict,
+        Verdict::Inconclusive,
+        "a pass that never measured enough is not a pass: {report}"
+    );
+}
+
+#[test]
+fn runs_are_reproducible_per_seed() {
+    let run = |seed: u64| {
+        let time = Rc::new(Cell::new(0));
+        let mut target = ScriptedTarget::new(&time, 1000, 1040);
+        let mut config = cfg();
+        config.seed = seed;
+        detect(&mut target, &config, &mut VirtualClock(Rc::clone(&time)))
+    };
+    let a = run(1);
+    let b = run(1);
+    assert_eq!(a.verdict, b.verdict);
+    assert_eq!(a.samples_collected, b.samples_collected);
+    assert!((a.t_stat - b.t_stat).abs() < 1e-12);
+    assert_eq!(a.cropped, b.cropped);
+}

@@ -1,0 +1,101 @@
+//! The CI timing gate (`tools/ci.sh timing_gate`).
+//!
+//! Two halves, and both matter:
+//!
+//! - **Negative control**: the constant-time engine (`SABER_ENGINE=ct`,
+//!   `saber_ring::ct::CtSchoolbookMultiplier`) must show |t| under the
+//!   threshold on fixed-vs-random secret classes — for the raw
+//!   multiply and for the full KEM pipelines built on it.
+//! - **Positive controls**: the two planted timing mutants
+//!   (`saber_core::fault::TimingFault`) compute bit-exact products with
+//!   secret-dependent timing; the detector must flag both within the
+//!   sample budget. A leakage gate that has never caught a planted leak
+//!   proves nothing by passing.
+//!
+//! Budgets and seeds come from `SABER_TIMING_*` (see
+//! [`TimingConfig::from_env`]); CI pins the seed for reproducible
+//! reruns.
+
+use saber_core::fault::{TimingFault, TimingLeakMultiplier};
+use saber_ring::EngineKind;
+use saber_timing::{detect, DecapsTarget, EncapsTarget, MulTarget, TimingConfig, Verdict};
+use saber_testkit::Rng;
+use saber_trace::MonotonicClock;
+
+#[test]
+fn ct_engine_is_timing_clean_on_fixed_vs_random_secrets() {
+    let cfg = TimingConfig::from_env();
+    let mut target = MulTarget::engine(EngineKind::Ct);
+    let report = detect(&mut target, &cfg, &mut MonotonicClock);
+    assert_eq!(
+        report.verdict,
+        Verdict::Pass,
+        "constant-time engine failed the leakage gate: {report}"
+    );
+}
+
+#[test]
+fn ct_scan_early_exit_mutant_is_flagged_within_budget() {
+    let cfg = TimingConfig::from_env();
+    let mutant = TimingLeakMultiplier::new(TimingFault::CtScanEarlyExit);
+    let mut target = MulTarget::from_backend(Box::new(mutant), 5);
+    let report = detect(&mut target, &cfg, &mut MonotonicClock);
+    assert!(
+        report.is_leak(),
+        "planted early-exit leak went undetected: {report}"
+    );
+    assert!(report.samples_collected <= cfg.samples);
+}
+
+#[test]
+fn swar_row_select_branch_mutant_is_flagged_within_budget() {
+    let cfg = TimingConfig::from_env();
+    let mutant = TimingLeakMultiplier::new(TimingFault::SwarRowSelectBranch);
+    let mut target = MulTarget::from_backend(Box::new(mutant), 5);
+    let report = detect(&mut target, &cfg, &mut MonotonicClock);
+    assert!(
+        report.is_leak(),
+        "planted sign-branch leak went undetected: {report}"
+    );
+    assert!(report.samples_collected <= cfg.samples);
+}
+
+#[test]
+fn kem_decaps_on_the_ct_engine_is_timing_clean() {
+    // Full decapsulations are ~20 multiplies plus hashing, so a quarter
+    // of the multiply budget keeps the wall-clock comparable.
+    let mut cfg = TimingConfig::from_env();
+    cfg = TimingConfig {
+        min_leak_samples: (cfg.samples / 8).clamp(32, cfg.samples.max(1)),
+        min_kept: cfg.samples / 8,
+        ..cfg
+    };
+    cfg.samples /= 4;
+    let mut rng = Rng::new(cfg.seed ^ 0xDECA);
+    let mut target = DecapsTarget::new(EngineKind::Ct, &saber_kem::LIGHT_SABER, 8, &mut rng);
+    let report = detect(&mut target, &cfg, &mut MonotonicClock);
+    assert_eq!(
+        report.verdict,
+        Verdict::Pass,
+        "ct-engine decaps failed the leakage gate: {report}"
+    );
+}
+
+#[test]
+fn kem_encaps_on_the_ct_engine_is_timing_clean() {
+    let mut cfg = TimingConfig::from_env();
+    cfg = TimingConfig {
+        min_leak_samples: (cfg.samples / 8).clamp(32, cfg.samples.max(1)),
+        min_kept: cfg.samples / 8,
+        ..cfg
+    };
+    cfg.samples /= 4;
+    let mut rng = Rng::new(cfg.seed ^ 0xE9CA);
+    let mut target = EncapsTarget::new(EngineKind::Ct, &saber_kem::LIGHT_SABER, &mut rng);
+    let report = detect(&mut target, &cfg, &mut MonotonicClock);
+    assert_eq!(
+        report.verdict,
+        Verdict::Pass,
+        "ct-engine encaps failed the leakage gate: {report}"
+    );
+}

@@ -51,9 +51,11 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod clock;
 pub mod cycle;
 pub mod span;
 
+pub use clock::{Clock, FakeClock, MonotonicClock};
 pub use cycle::{CyclePhase, CycleTimeline};
 pub use span::{
     counter, enabled, instant_event, instant_ns, now_ns, span, span_at, start, EventKind,

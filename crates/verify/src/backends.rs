@@ -15,7 +15,8 @@ use saber_ring::mul::{
     CrtNttMultiplier, KaratsubaMultiplier, NttMultiplier, ToomCook4Multiplier,
 };
 use saber_ring::{
-    CachedSchoolbookMultiplier, NttCrtEngine, PolyMultiplier, SwarMultiplier, ToomCook4Engine,
+    CachedSchoolbookMultiplier, CtSchoolbookMultiplier, NttCrtEngine, PolyMultiplier,
+    SwarMultiplier, ToomCook4Engine,
 };
 
 /// One registered backend: how to build it and what it accepts.
@@ -78,6 +79,10 @@ pub fn registry() -> Vec<BackendEntry> {
         // secret-caching variants behind SABER_ENGINE=toom|ntt.
         entry("toom-engine", 5, || Box::new(ToomCook4Engine::new())),
         entry("ntt-engine", 5, || Box::new(NttCrtEngine::new())),
+        // Constant-time engine (crates/ring): SABER_ENGINE=ct. Its
+        // *timing* contract is the saber-timing gate's job; here it is
+        // just one more backend that must stay bit-exact.
+        entry("ct-schoolbook", 5, || Box::new(CtSchoolbookMultiplier::new())),
         // Cycle-accurate hardware models (crates/core).
         entry("baseline-256", 5, || Box::new(BaselineMultiplier::new(256))),
         entry("baseline-512", 5, || Box::new(BaselineMultiplier::new(512))),
@@ -112,7 +117,7 @@ mod tests {
     #[test]
     fn registry_is_stable_and_named_uniquely() {
         let reg = registry();
-        assert_eq!(reg.len(), 21, "keep the registry in sync with the workspace");
+        assert_eq!(reg.len(), 22, "keep the registry in sync with the workspace");
         let mut names: Vec<&str> = reg.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();

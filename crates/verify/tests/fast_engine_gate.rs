@@ -6,7 +6,7 @@
 //! the full configured fuzz budget (2,048 cases per set in release CI),
 //! its seeded mutant (dropped Toom interpolation term, off-by-one CRT
 //! recombination constant) must be caught within a 64-case budget, and
-//! the batch paths of all four engines must agree on shared operands.
+//! the batch paths of every `EngineKind` must agree on shared operands.
 
 use saber_core::fault::{Fault, FaultyMultiplier};
 use saber_ring::EngineKind;
@@ -60,7 +60,7 @@ fn wrong_crt_recombination_constant_is_caught_within_budget() {
 }
 
 #[test]
-fn all_four_engines_agree_on_a_shared_fuzzed_batch() {
+fn all_engines_agree_on_a_shared_fuzzed_batch() {
     // Cross-engine agreement on one batch: the engines must be
     // interchangeable behind the selector, batch path included.
     use saber_testkit::Rng;

@@ -2,98 +2,151 @@
 # Offline CI gate for the workspace. Everything here runs with zero
 # network access — the workspace has no external dependencies.
 #
-#   tools/ci.sh          # lint + build + test + fuzz + fault gate + benches
+#   tools/ci.sh               # every stage: lint + build + test + fuzz
+#                             # + fault/engine/timing gates + benches
+#   tools/ci.sh timing_gate   # one named stage (plus its dependencies)
+#
+# Stage names: lint build test fuzz swar_gate fault_gate
+# fast_engine_gate ct_engine_gate timing_gate service trace bench
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+STAGE="${1:-all}"
+want() { [ "$STAGE" = "all" ] || [ "$STAGE" = "$1" ]; }
 
-echo "==> cargo build --release"
-cargo build --release
+if want lint; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
 
-echo "==> cargo test -q"
-cargo test -q
+if want build; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+if want test; then
+    echo "==> cargo test -q"
+    cargo test -q
+fi
 
 # Differential fuzz sweep: a fixed seed and an explicit case budget
 # (2,048 stratified cases per parameter set, every backend against the
 # schoolbook oracle) in release, where the full budget fits the CI
 # window. Plain `cargo test -q` above already ran the debug smoke sweep.
-echo "==> fuzz sweep: SABER_FUZZ_CASES=2048 (release)"
-SABER_FUZZ_CASES=2048 cargo test -q --release -p saber-verify --test differential_fuzz
+if want fuzz; then
+    echo "==> fuzz sweep: SABER_FUZZ_CASES=2048 (release)"
+    SABER_FUZZ_CASES=2048 cargo test -q --release -p saber-verify --test differential_fuzz
+fi
 
 # SWAR backend gate: the packed HS-II software mirror must stay
 # bit-exact against the schoolbook oracle over the same 2,048-case
 # release budget, and its seeded mutant (dropped middle-carry repair)
 # must be detected by the fuzzer within a 64-case budget.
-echo "==> swar gate: bit-exactness + mutant detection (release)"
-SABER_FUZZ_CASES=2048 cargo test -q --release -p saber-verify --test swar_gate
+if want swar_gate; then
+    echo "==> swar gate: bit-exactness + mutant detection (release)"
+    SABER_FUZZ_CASES=2048 cargo test -q --release -p saber-verify --test swar_gate
+fi
 
 # Fault-injection sensitivity gate: every seeded mutant of the
 # cycle-accurate datapaths must be flagged by the fuzzer — 100 %
 # detection or the corpus has a blind spot.
-echo "==> fault-injection sensitivity gate (release)"
-cargo test -q --release -p saber-verify --test fault_sensitivity
+if want fault_gate; then
+    echo "==> fault-injection sensitivity gate (release)"
+    cargo test -q --release -p saber-verify --test fault_sensitivity
+fi
 
 # Fast-engine gate: the batched Toom-Cook-4 and NTT-CRT hot-path
 # engines must stay bit-exact over the full 2,048-case release budget,
 # their seeded mutants (dropped Toom interpolation term, wrong CRT
-# recombination constant) must be caught within 64 cases, and all four
-# engines must agree on a shared fuzzed batch.
-echo "==> fast-engine gate: toom + ntt bit-exactness + mutants (release)"
-SABER_FUZZ_CASES=2048 cargo test -q --release -p saber-verify --test fast_engine_gate
+# recombination constant) must be caught within 64 cases, and every
+# engine must agree on a shared fuzzed batch.
+if want fast_engine_gate; then
+    echo "==> fast-engine gate: toom + ntt bit-exactness + mutants (release)"
+    SABER_FUZZ_CASES=2048 cargo test -q --release -p saber-verify --test fast_engine_gate
+fi
 
-# Concurrency stress: the service's N-worker ≡ sequential equivalence
-# battery across the worker-count matrix, then a bounded deterministic
-# soak (10k mixed KEM ops through a 4-worker pool, spot-checked against
-# the schoolbook oracle). Release mode: debug already ran small versions
-# of both under `cargo test -q` above.
-echo "==> service stress: worker matrix 1/2/8 (release)"
-for w in 1 2 8; do
-    echo "    SABER_SERVICE_WORKERS=$w"
-    SABER_SERVICE_WORKERS=$w cargo test -q --release -p saber-service --test concurrency_equivalence
-done
+# Constant-time engine gate: SABER_ENGINE=ct must stay bit-exact over
+# the full release budget, and the planted *timing* mutants must be
+# functionally invisible to the differential fuzzer (they leak time,
+# not values — that separation is what makes them valid positive
+# controls for the timing gate below, which depends on this stage).
+if want ct_engine_gate || [ "$STAGE" = "timing_gate" ]; then
+    echo "==> ct-engine gate: bit-exactness + mutant invisibility (release)"
+    SABER_FUZZ_CASES=2048 cargo test -q --release -p saber-verify --test ct_engine_gate
+fi
 
-# Engine matrix: the same equivalence battery with each selectable
-# multiplier engine driving the worker shards (ServiceConfig::default
-# reads SABER_ENGINE), so every hot-path backend — and the auto
-# calibration policy — is exercised under real worker concurrency, not
-# just single-threaded fuzzing.
-echo "==> service stress: engine matrix cached/swar/toom/ntt/auto (release)"
-for e in cached swar toom ntt auto; do
-    echo "    SABER_ENGINE=$e"
-    SABER_ENGINE=$e cargo test -q --release -p saber-service --test concurrency_equivalence
-done
+# Timing-leakage gate (dudect-style fixed-vs-random Welch t-test):
+# the constant-time engine and the KEM pipelines built on it must stay
+# under the |t| threshold, and both planted timing mutants must be
+# flagged within the sample budget — the detector is only trusted
+# because its positive controls fire. The seed is pinned so a CI
+# failure reproduces locally with the identical measurement schedule;
+# budgets/threshold are tunable via SABER_TIMING_* (see
+# saber_timing::TimingConfig::from_env).
+if want timing_gate; then
+    echo "==> timing gate: ct engine clean + planted mutants flagged (release)"
+    SABER_TIMING_SEED=1518301440 cargo test -q --release -p saber-timing --test timing_gate
+fi
 
-# Soak the default engine at full depth, then every alternative engine
-# at a reduced budget (the soak is oracle-spot-checked, so even the
-# short runs would catch an engine corrupting state across jobs).
-echo "==> service soak: SABER_SOAK_OPS=10000 (release)"
-SABER_SOAK_OPS=10000 cargo test -q --release -p saber-service --test soak
-for e in swar toom ntt auto; do
-    echo "    SABER_ENGINE=$e SABER_SOAK_OPS=2000"
-    SABER_ENGINE=$e SABER_SOAK_OPS=2000 cargo test -q --release -p saber-service --test soak
-done
+if want service; then
+    # Concurrency stress: the service's N-worker ≡ sequential
+    # equivalence battery across the worker-count matrix, then a bounded
+    # deterministic soak (10k mixed KEM ops through a 4-worker pool,
+    # spot-checked against the schoolbook oracle). Release mode: debug
+    # already ran small versions of both under `cargo test -q` above.
+    echo "==> service stress: worker matrix 1/2/8 (release)"
+    for w in 1 2 8; do
+        echo "    SABER_SERVICE_WORKERS=$w"
+        SABER_SERVICE_WORKERS=$w cargo test -q --release -p saber-service --test concurrency_equivalence
+    done
 
-# Observability gates. The trace_profile example records one full KEM
-# round trip plus the cycle-model lanes and validates the exported
-# Chrome trace-event JSON against the schema checker (it exits nonzero
-# on any violation). The overhead bench then enforces the tracing
-# layer's core contract: a probe with no session active stays under
-# SABER_TRACE_MAX_DISABLED_NS (default 25 ns — measured cost is ~3 ns).
-# The no-default-features build proves the fully compiled-out
-# configuration (every probe a no-op at compile time) still builds.
-echo "==> trace: profile example + Chrome trace schema validation"
-cargo run -q --release --example trace_profile
+    # Engine matrix: the same equivalence battery with each selectable
+    # multiplier engine driving the worker shards
+    # (ServiceConfig::default reads SABER_ENGINE), so every hot-path
+    # backend — and the auto calibration policy — is exercised under
+    # real worker concurrency, not just single-threaded fuzzing.
+    echo "==> service stress: engine matrix cached/swar/toom/ntt/ct/auto (release)"
+    for e in cached swar toom ntt ct auto; do
+        echo "    SABER_ENGINE=$e"
+        SABER_ENGINE=$e cargo test -q --release -p saber-service --test concurrency_equivalence
+    done
 
-echo "==> trace: disabled-path overhead gate (release)"
-cargo bench -q -p saber-bench --bench trace_overhead
+    # Soak the default engine at full depth, then every alternative
+    # engine at a reduced budget (the soak is oracle-spot-checked, so
+    # even the short runs would catch an engine corrupting state across
+    # jobs).
+    echo "==> service soak: SABER_SOAK_OPS=10000 (release)"
+    SABER_SOAK_OPS=10000 cargo test -q --release -p saber-service --test soak
+    for e in swar toom ntt ct auto; do
+        echo "    SABER_ENGINE=$e SABER_SOAK_OPS=2000"
+        SABER_ENGINE=$e SABER_SOAK_OPS=2000 cargo test -q --release -p saber-service --test soak
+    done
+fi
 
-echo "==> trace: capture feature compiled out still builds"
-cargo build -q -p saber-trace --no-default-features
+if want trace; then
+    # Observability gates. The trace_profile example records one full
+    # KEM round trip plus the cycle-model lanes and validates the
+    # exported Chrome trace-event JSON against the schema checker (it
+    # exits nonzero on any violation). The overhead bench then enforces
+    # the tracing layer's core contract: a probe with no session active
+    # stays under SABER_TRACE_MAX_DISABLED_NS (default 25 ns — measured
+    # cost is ~3 ns). The no-default-features build proves the fully
+    # compiled-out configuration (every probe a no-op at compile time)
+    # still builds.
+    echo "==> trace: profile example + Chrome trace schema validation"
+    cargo run -q --release --example trace_profile
 
-echo "==> cargo bench --workspace --no-run"
-cargo bench --workspace --no-run
+    echo "==> trace: disabled-path overhead gate (release)"
+    cargo bench -q -p saber-bench --bench trace_overhead
 
-echo "==> ci: all green"
+    echo "==> trace: capture feature compiled out still builds"
+    cargo build -q -p saber-trace --no-default-features
+fi
+
+if want bench; then
+    echo "==> cargo bench --workspace --no-run"
+    cargo bench --workspace --no-run
+fi
+
+echo "==> ci: $STAGE green"
