@@ -285,13 +285,7 @@ struct InFlight {
 /// ```
 #[derive(Debug, Clone)]
 pub struct DspPackedMultiplier {
-    dsps: Vec<Dsp48>,
     banks: usize,
-    /// Rotating ring of in-flight metadata batches, one slot per DSP
-    /// pipeline stage. Owned by the struct so repeated multiplications
-    /// reuse the allocations instead of building a fresh `Vec` per issue
-    /// cycle.
-    inflight: Vec<Vec<InFlight>>,
     last_cycles: CycleReport,
     last_timeline: Option<saber_trace::CycleTimeline>,
     activity: Activity,
@@ -325,11 +319,8 @@ impl DspPackedMultiplier {
     #[must_use]
     pub fn with_dsps(dsps: usize) -> Self {
         assert!(dsps == 128 || dsps == 256, "HS-II supports 128 or 256 DSPs");
-        let banks = dsps / DSP_COUNT;
         Self {
-            dsps: (0..dsps).map(|_| Dsp48::new(DSP_LATENCY)).collect(),
-            banks,
-            inflight: (0..DSP_LATENCY).map(|_| Vec::with_capacity(dsps)).collect(),
+            banks: dsps / DSP_COUNT,
             last_cycles: CycleReport::default(),
             last_timeline: None,
             activity: Activity::default(),
@@ -397,126 +388,256 @@ impl Default for DspPackedMultiplier {
     }
 }
 
+/// Phase cursor of [`DspPackedSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DspPhase {
+    SecretLoad { left: u64 },
+    PublicPreload { left: u64 },
+    Core,
+    WritebackDrain { left: u64 },
+    Done,
+}
+
+/// A resumable, one-cycle-per-[`step`](Self::step) simulation of the
+/// HS-II DSP-packed datapath — the same schedule
+/// [`DspPackedMultiplier::multiply`] always ran, exposed as a stepper so
+/// a discrete-event scheduler (`saber-soc`) can interleave it with other
+/// components cycle by cycle.
+///
+/// Invariant: driving `step` to completion and calling
+/// [`finish`](Self::finish) yields byte-identical products, cycle
+/// reports and timelines to the historical run-to-completion loop (the
+/// standalone `multiply` is now exactly that thin driver).
+#[derive(Debug, Clone)]
+pub struct DspPackedSim {
+    public: PolyQ,
+    secret: SecretPoly,
+    dsps: Vec<Dsp48>,
+    banks: usize,
+    /// Rotating ring of in-flight metadata batches, one slot per DSP
+    /// pipeline stage — reused every issue cycle instead of building a
+    /// fresh `Vec`.
+    inflight: Vec<Vec<InFlight>>,
+    acc: [u16; N],
+    core_cycles: u64,
+    outer: usize,   // the outer index pair (2t, 2t+1)
+    issued: usize,  // metadata batches written to the ring
+    retired: usize, // metadata batches consumed
+    phase: DspPhase,
+    cycles: u64,
+    timeline: saber_trace::CycleTimeline,
+}
+
+impl DspPackedSim {
+    /// Captures the operands at cycle 0 (nothing has happened yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `banks` is 1 or 2, or if the secret contains a
+    /// coefficient of magnitude 5 (LightSaber); the 15-bit packing of
+    /// §3.2 requires |s| ≤ 4.
+    #[must_use]
+    pub fn new(public: &PolyQ, secret: &SecretPoly, banks: usize) -> Self {
+        assert!(banks == 1 || banks == 2, "HS-II supports 1 or 2 DSP banks");
+        assert!(
+            secret.max_magnitude() <= MAX_PACKED_MAGNITUDE,
+            "HS-II packing requires |s| ≤ 4 (Saber/FireSaber); got {}",
+            secret.max_magnitude()
+        );
+        let dsps = DSP_COUNT * banks;
+        Self {
+            public: public.clone(),
+            secret: secret.clone(),
+            dsps: (0..dsps).map(|_| Dsp48::new(DSP_LATENCY)).collect(),
+            banks,
+            inflight: (0..DSP_LATENCY).map(|_| Vec::with_capacity(dsps)).collect(),
+            acc: [0u16; N],
+            core_cycles: 0,
+            outer: 0,
+            issued: 0,
+            retired: 0,
+            phase: DspPhase::SecretLoad { left: 17 },
+            cycles: 0,
+            timeline: saber_trace::CycleTimeline::new(
+                if banks == 1 { "hs2-128" } else { "hs2-256" },
+                (DSP_COUNT * banks) as u64,
+            ),
+        }
+    }
+
+    /// Cycles elapsed so far (memory phases included).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// True once the writeback drain has completed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.phase == DspPhase::Done
+    }
+
+    /// Advances exactly one clock cycle; returns `true` while the run is
+    /// still in progress (a call on a finished sim is a no-op returning
+    /// `false`).
+    pub fn step(&mut self) -> bool {
+        match self.phase {
+            DspPhase::SecretLoad { left } => {
+                self.cycles += 1;
+                if left == 1 {
+                    self.timeline.push_phase("secret_load", 17, 0);
+                    self.phase = DspPhase::PublicPreload { left: 14 };
+                } else {
+                    self.phase = DspPhase::SecretLoad { left: left - 1 };
+                }
+            }
+            DspPhase::PublicPreload { left } => {
+                self.cycles += 1;
+                if left == 1 {
+                    self.timeline.push_phase("public_preload", 14, 0);
+                    self.phase = DspPhase::Core;
+                } else {
+                    self.phase = DspPhase::PublicPreload { left: left - 1 };
+                }
+            }
+            DspPhase::Core => {
+                self.core_step();
+                self.cycles += 1;
+                // 128/banks issue cycles + DSP_LATENCY drain cycles.
+                if self.core_cycles == (N / (2 * self.banks) + DSP_LATENCY) as u64 {
+                    self.phase = DspPhase::WritebackDrain { left: 54 };
+                }
+            }
+            DspPhase::WritebackDrain { left } => {
+                self.cycles += 1;
+                if left == 1 {
+                    let units = (DSP_COUNT * self.banks) as u64;
+                    self.timeline.push_phase("writeback_drain", 54, 0);
+                    self.timeline
+                        .add_counter("dsp_issues", (N / (2 * self.banks)) as u64 * units);
+                    self.phase = DspPhase::Done;
+                } else {
+                    self.phase = DspPhase::WritebackDrain { left: left - 1 };
+                }
+            }
+            DspPhase::Done => {}
+        }
+        !self.is_done()
+    }
+
+    /// One cycle of the issue → clock-edge → retire core loop.
+    ///
+    /// The rotating secret buffer is modelled as a logical rotation
+    /// (offset + negacyclic sign, see `rotated`), so no per-cycle
+    /// clone/shift of the secret is needed; the in-flight metadata
+    /// reuses the sim-owned ring of `DSP_LATENCY` batch buffers.
+    fn core_step(&mut self) {
+        let banks = self.banks;
+        let units = (DSP_COUNT * banks) as u64;
+
+        // Issue phase.
+        let issuing = self.outer < N;
+        if issuing {
+            let batch = &mut self.inflight[self.issued % DSP_LATENCY];
+            batch.clear();
+            for bank in 0..banks {
+                // Bank `b` handles outer pair (outer + 2b) against the
+                // secret shifted by x^(outer + 2b).
+                let a0 = self.public.coeff(self.outer + 2 * bank);
+                let a1 = self.public.coeff(self.outer + 2 * bank + 1);
+                let rot = self.outer + 2 * bank;
+                for k in 0..DSP_COUNT {
+                    let dsp = &mut self.dsps[bank * DSP_COUNT + k];
+                    let j = 2 * k + 1; // odd accumulator position
+                    let s1 = rotated(&self.secret, rot, j);
+                    let s0 = rotated(&self.secret, rot, j - 1); // (σ·x)[j], odd j ≥ 1
+                    let (pa, ps, plan) = pack(a0, a1, s0, s1);
+                    let (a_lo, s_lo, c) = split_for_dsp(pa, ps);
+                    dsp.issue(a_lo, s_lo, c)
+                        .expect("split operands fit the DSP ports by construction");
+                    batch.push(InFlight {
+                        plan,
+                        a0_is_zero: a0 == 0,
+                        s0_mag_is_zero: s0 == 0,
+                        a1_lsb: a1 & 1,
+                        s1_mag_lsb: u16::from(s1.unsigned_abs()) & 1,
+                        position: j,
+                    });
+                }
+            }
+            self.issued += 1;
+            self.outer += 2 * banks;
+        }
+
+        // Clock edge.
+        for dsp in self.dsps.iter_mut() {
+            dsp.tick();
+        }
+        self.core_cycles += 1;
+        if issuing {
+            // Each DSP accepted one packed operation computing four
+            // coefficient products (low, two middles, high).
+            self.timeline.push_phase("issue", 1, 4 * units);
+        } else {
+            self.timeline.push_phase("pipeline_drain", 1, 0);
+        }
+
+        // Retire phase: results emerge after DSP_LATENCY edges.
+        if self.core_cycles >= DSP_LATENCY as u64 && self.retired < self.issued {
+            let slot = self.retired % DSP_LATENCY;
+            for unit in 0..self.inflight[slot].len() {
+                let info = self.inflight[slot][unit];
+                let p = self.dsps[unit % self.dsps.len()]
+                    .output()
+                    .expect("a result emerges every retire cycle");
+                let products = unpack(
+                    p,
+                    info.plan,
+                    info.a0_is_zero,
+                    info.s0_mag_is_zero,
+                    info.a1_lsb,
+                    info.s1_mag_lsb,
+                );
+                let j = info.position;
+                add13(&mut self.acc[j], products.mid, false);
+                add13(&mut self.acc[j - 1], products.low, false);
+                if j + 1 < N {
+                    add13(&mut self.acc[j + 1], products.high, false);
+                } else {
+                    // Negacyclic wrap: position 256 folds to −acc[0].
+                    add13(&mut self.acc[0], products.high, true);
+                }
+            }
+            self.retired += 1;
+        }
+    }
+
+    /// Consumes the finished simulation into the product, the core-loop
+    /// cycle report and the per-phase timeline. Any remaining cycles are
+    /// driven to completion first.
+    #[must_use]
+    pub fn finish(mut self) -> (PolyQ, CycleReport, saber_trace::CycleTimeline) {
+        while self.step() {}
+        let report = CycleReport {
+            compute_cycles: self.core_cycles,
+            // Same memory phases as the other high-speed designs.
+            memory_overhead_cycles: 17 + 14 + 54,
+        };
+        debug_assert!(self.timeline.reconciles_with(report.total()));
+        (PolyQ::from_coeffs(self.acc), report, self.timeline)
+    }
+}
+
 impl PolyMultiplier for DspPackedMultiplier {
     /// # Panics
     ///
     /// Panics if the secret contains a coefficient of magnitude 5
     /// (LightSaber); the 15-bit packing of §3.2 requires |s| ≤ 4.
     fn multiply(&mut self, public: &PolyQ, secret: &SecretPoly) -> PolyQ {
-        assert!(
-            secret.max_magnitude() <= MAX_PACKED_MAGNITUDE,
-            "HS-II packing requires |s| ≤ 4 (Saber/FireSaber); got {}",
-            secret.max_magnitude()
-        );
-
-        let mut acc = [0u16; N];
-        let mut cycles = 0u64;
-        let mut outer = 0usize; // the outer index pair (2t, 2t+1)
-        let mut issued = 0usize; // metadata batches written to the ring
-        let mut retired = 0usize; // metadata batches consumed
-        let banks = self.banks;
-        let units = (DSP_COUNT * banks) as u64;
-        let mut timeline = saber_trace::CycleTimeline::new(
-            if banks == 1 { "hs2-128" } else { "hs2-256" },
-            units,
-        );
-        timeline.push_phase("secret_load", 17, 0);
-        timeline.push_phase("public_preload", 14, 0);
-
-        // The rotating secret buffer is modelled as a logical rotation
-        // (offset + negacyclic sign, see `rotated`), so no per-cycle
-        // clone/shift of the secret is needed; the in-flight metadata
-        // reuses the struct-owned ring of DSP_LATENCY batch buffers.
-
-        // 128/banks issue cycles + DSP_LATENCY drain cycles.
-        while cycles < (N / (2 * banks) + DSP_LATENCY) as u64 {
-            // Issue phase.
-            let issuing = outer < N;
-            if issuing {
-                let batch = &mut self.inflight[issued % DSP_LATENCY];
-                batch.clear();
-                for bank in 0..banks {
-                    // Bank `b` handles outer pair (outer + 2b) against the
-                    // secret shifted by x^(outer + 2b).
-                    let a0 = public.coeff(outer + 2 * bank);
-                    let a1 = public.coeff(outer + 2 * bank + 1);
-                    let rot = outer + 2 * bank;
-                    for k in 0..DSP_COUNT {
-                        let dsp = &mut self.dsps[bank * DSP_COUNT + k];
-                        let j = 2 * k + 1; // odd accumulator position
-                        let s1 = rotated(secret, rot, j);
-                        let s0 = rotated(secret, rot, j - 1); // (σ·x)[j], odd j ≥ 1
-                        let (pa, ps, plan) = pack(a0, a1, s0, s1);
-                        let (a_lo, s_lo, c) = split_for_dsp(pa, ps);
-                        dsp.issue(a_lo, s_lo, c)
-                            .expect("split operands fit the DSP ports by construction");
-                        batch.push(InFlight {
-                            plan,
-                            a0_is_zero: a0 == 0,
-                            s0_mag_is_zero: s0 == 0,
-                            a1_lsb: a1 & 1,
-                            s1_mag_lsb: u16::from(s1.unsigned_abs()) & 1,
-                            position: j,
-                        });
-                    }
-                }
-                issued += 1;
-                outer += 2 * banks;
-            }
-
-            // Clock edge.
-            for dsp in self.dsps.iter_mut() {
-                dsp.tick();
-            }
-            cycles += 1;
-            if issuing {
-                // Each DSP accepted one packed operation computing four
-                // coefficient products (low, two middles, high).
-                timeline.push_phase("issue", 1, 4 * units);
-            } else {
-                timeline.push_phase("pipeline_drain", 1, 0);
-            }
-
-            // Retire phase: results emerge after DSP_LATENCY edges.
-            if cycles >= DSP_LATENCY as u64 && retired < issued {
-                let slot = retired % DSP_LATENCY;
-                for unit in 0..self.inflight[slot].len() {
-                    let info = self.inflight[slot][unit];
-                    let p = self.dsps[unit % self.dsps.len()]
-                        .output()
-                        .expect("a result emerges every retire cycle");
-                    let products = unpack(
-                        p,
-                        info.plan,
-                        info.a0_is_zero,
-                        info.s0_mag_is_zero,
-                        info.a1_lsb,
-                        info.s1_mag_lsb,
-                    );
-                    let j = info.position;
-                    add13(&mut acc[j], products.mid, false);
-                    add13(&mut acc[j - 1], products.low, false);
-                    if j + 1 < N {
-                        add13(&mut acc[j + 1], products.high, false);
-                    } else {
-                        // Negacyclic wrap: position 256 folds to −acc[0].
-                        add13(&mut acc[0], products.high, true);
-                    }
-                }
-                retired += 1;
-            }
-        }
-
-        timeline.push_phase("writeback_drain", 54, 0);
-        timeline.add_counter("dsp_issues", (N / (2 * banks)) as u64 * units);
+        let (product, cycles, timeline) = DspPackedSim::new(public, secret, self.banks).finish();
 
         let area = self.area();
-        self.last_cycles = CycleReport {
-            compute_cycles: cycles,
-            // Same memory phases as the other high-speed designs.
-            memory_overhead_cycles: 17 + 14 + 54,
-        };
-        debug_assert!(timeline.reconciles_with(self.last_cycles.total()));
+        self.last_cycles = cycles;
         self.last_timeline = Some(timeline);
         self.activity = self.activity.merge(Activity {
             cycles: self.last_cycles.total(),
@@ -528,7 +649,7 @@ impl PolyMultiplier for DspPackedMultiplier {
             dsp_ops: (N as u64 / 2) * DSP_COUNT as u64, // total ops independent of banking
         });
         self.multiplications += 1;
-        PolyQ::from_coeffs(acc)
+        product
     }
 
     fn name(&self) -> &str {

@@ -27,7 +27,7 @@
 
 use saber_hw::mac::{baseline_mac, multiples, select_multiple};
 use saber_hw::{Activity, Area, CycleReport};
-use saber_ring::{packing, PolyQ, SecretPoly, N};
+use saber_ring::{PolyQ, SecretPoly, N};
 use saber_trace::CycleTimeline;
 
 /// Where the coefficient multiplier lives.
@@ -58,82 +58,261 @@ pub fn simulate(
     macs: usize,
     style: MacStyle,
 ) -> (PolyQ, CycleReport, Activity, CycleTimeline) {
-    assert!(
-        matches!(macs, 256 | 512 | 1024),
-        "engine supports 256, 512 or 1024 MACs"
-    );
-    let unroll = macs / N;
-    let track = match style {
-        MacStyle::PerMac => format!("baseline-{macs}"),
-        MacStyle::Centralized => format!("hs1-{macs}"),
-    };
-    let mut timeline = CycleTimeline::new(track, macs as u64);
+    EngineSim::new(a, s, macs, style).finish()
+}
 
-    // Phase 1-2: input bursts (counted, not value-simulated — the BRAM
-    // image layouts are exercised by `saber_ring::packing` tests).
-    let secret_words = packing::secret_to_words(s).len() as u64; // 16
-    let public_words = packing::poly13_to_words(a).len() as u64; // 52
-    let preload_words = 13u64; // fills the 676-bit buffer
-    let streamed_words = public_words - preload_words; // 39, overlapped during compute
-    timeline.push_phase("secret_load", secret_words + 1, 0);
-    timeline.push_phase("public_preload", preload_words + 1, 0);
+/// The compute phase of the parallel schoolbook engine as a resumable
+/// kernel: one call to [`step`](Self::step) performs exactly one compute
+/// cycle (all MACs update, the secret view rotates by `x^U`).
+///
+/// [`EngineSim`] drives it for the standalone architectures;
+/// `saber-soc`'s co-simulated multiplier component drives it directly,
+/// with the operand loads and drains replaced by shared-bus traffic.
+#[derive(Debug, Clone)]
+pub struct ComputeKernel {
+    a: PolyQ,
+    s: SecretPoly,
+    style: MacStyle,
+    unroll: usize,
+    acc: [u16; N],
+    i: usize,
+}
 
-    // Phase 3: compute. The accumulator is an explicit register; the
-    // rotating secret buffer is modelled as a *logical* rotation (an
-    // offset into the original secret with negacyclic sign, see
-    // [`rotated`]) so the simulation clones and copies nothing per
-    // cycle — the RTL's physical rotation and this offset view read
-    // identical values every cycle.
-    let mut acc = [0u16; N];
-    let mut compute_cycles = 0u64;
-    let mut i = 0usize;
-    while i < N {
-        match style {
+impl ComputeKernel {
+    /// Captures the operands and the datapath shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macs` is not 256, 512 or 1024.
+    #[must_use]
+    pub fn new(a: &PolyQ, s: &SecretPoly, macs: usize, style: MacStyle) -> Self {
+        assert!(
+            matches!(macs, 256 | 512 | 1024),
+            "engine supports 256, 512 or 1024 MACs"
+        );
+        Self {
+            a: a.clone(),
+            s: s.clone(),
+            style,
+            unroll: macs / N,
+            acc: [0u16; N],
+            i: 0,
+        }
+    }
+
+    /// MAC units in the datapath (`unroll × N`).
+    #[must_use]
+    pub fn macs(&self) -> usize {
+        self.unroll * N
+    }
+
+    /// Total compute cycles the kernel will take (`N / unroll`).
+    #[must_use]
+    pub fn cycles_total(&self) -> u64 {
+        (N / self.unroll) as u64
+    }
+
+    /// True once every coefficient product has been accumulated.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.i >= N
+    }
+
+    /// Performs one compute cycle; returns `true` while work remains
+    /// (a call on a finished kernel is a no-op returning `false`).
+    ///
+    /// The accumulator is an explicit register; the rotating secret
+    /// buffer is modelled as a *logical* rotation (an offset into the
+    /// original secret with negacyclic sign, see [`rotated`]) so the
+    /// simulation clones and copies nothing per cycle — the RTL's
+    /// physical rotation and this offset view read identical values.
+    pub fn step(&mut self) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        match self.style {
             MacStyle::Centralized => {
                 // One shared multiple set per unrolled public coefficient.
-                for u in 0..unroll {
-                    let m = multiples(a.coeff(i + u));
-                    for (j, slot) in acc.iter_mut().enumerate() {
-                        *slot = select_multiple(&m, rotated(s, i + u, j), *slot);
+                for u in 0..self.unroll {
+                    let m = multiples(self.a.coeff(self.i + u));
+                    for (j, slot) in self.acc.iter_mut().enumerate() {
+                        *slot = select_multiple(&m, rotated(&self.s, self.i + u, j), *slot);
                     }
                 }
             }
             MacStyle::PerMac => {
-                for u in 0..unroll {
-                    let ai = a.coeff(i + u);
-                    for (j, slot) in acc.iter_mut().enumerate() {
-                        *slot = baseline_mac(ai, rotated(s, i + u, j), *slot);
+                for u in 0..self.unroll {
+                    let ai = self.a.coeff(self.i + u);
+                    for (j, slot) in self.acc.iter_mut().enumerate() {
+                        *slot = baseline_mac(ai, rotated(&self.s, self.i + u, j), *slot);
                     }
                 }
             }
         }
-        i += unroll;
-        compute_cycles += 1;
-        // Every MAC retires one coefficient product this cycle.
-        timeline.push_phase("compute", 1, macs as u64);
+        self.i += self.unroll;
+        !self.is_done()
     }
 
-    // Phase 4: drain the accumulator.
-    let drain_words = public_words; // 52 words of 13-bit coefficients
-    timeline.push_phase("drain", drain_words + 2, 0);
-    timeline.add_counter("streamed_words", streamed_words);
+    /// The accumulator contents as a polynomial (the product once
+    /// [`is_done`](Self::is_done)).
+    #[must_use]
+    pub fn product(&self) -> PolyQ {
+        PolyQ::from_coeffs(self.acc)
+    }
+}
 
-    let report = CycleReport {
-        compute_cycles,
-        memory_overhead_cycles: (secret_words + 1) + (preload_words + 1) + (drain_words + 2),
-    };
-    let activity = Activity {
-        cycles: report.total(),
-        bram_reads: secret_words + public_words,
-        bram_writes: drain_words,
-        // Streamed words are already counted in `public_words`.
-        io_words: secret_words + public_words + drain_words,
-        active_luts: 0, // filled in by the architecture wrapper
-        active_ffs: 0,
-        dsp_ops: 0,
-    };
-    debug_assert!(timeline.reconciles_with(report.total()));
-    (PolyQ::from_coeffs(acc), report, activity, timeline)
+/// Phase cursor of [`EngineSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EnginePhase {
+    SecretLoad { left: u64 },
+    PublicPreload { left: u64 },
+    Compute,
+    Drain { left: u64 },
+    Done,
+}
+
+/// A resumable, one-cycle-per-[`step`](Self::step) simulation of the
+/// parallel schoolbook datapath — the same schedule [`simulate`] always
+/// ran, exposed as a stepper so a discrete-event scheduler (`saber-soc`)
+/// can interleave it with other components cycle by cycle.
+///
+/// Invariant: driving `step` to completion and calling
+/// [`finish`](Self::finish) yields byte-identical products, cycle
+/// reports and timelines to the historical run-to-completion loop (the
+/// standalone [`simulate`] is now exactly that thin wrapper).
+#[derive(Debug, Clone)]
+pub struct EngineSim {
+    kernel: ComputeKernel,
+    macs: usize,
+    phase: EnginePhase,
+    cycles: u64,
+    compute_cycles: u64,
+    timeline: CycleTimeline,
+}
+
+/// Secret burst: 16 words over the 64-bit port + 1 read latency.
+const SECRET_LOAD_CYCLES: u64 = 16 + 1;
+/// Public preload: 13 words fill the 676-bit buffer + 1 latency.
+const PUBLIC_PRELOAD_CYCLES: u64 = 13 + 1;
+/// Drain: 52 result words + 2 cycles of result/write registers.
+const DRAIN_CYCLES: u64 = 52 + 2;
+
+impl EngineSim {
+    /// Sets up the simulation at cycle 0 (nothing has happened yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macs` is not 256, 512 or 1024.
+    #[must_use]
+    pub fn new(a: &PolyQ, s: &SecretPoly, macs: usize, style: MacStyle) -> Self {
+        let track = match style {
+            MacStyle::PerMac => format!("baseline-{macs}"),
+            MacStyle::Centralized => format!("hs1-{macs}"),
+        };
+        Self {
+            kernel: ComputeKernel::new(a, s, macs, style),
+            macs,
+            phase: EnginePhase::SecretLoad {
+                left: SECRET_LOAD_CYCLES,
+            },
+            cycles: 0,
+            compute_cycles: 0,
+            timeline: CycleTimeline::new(track, macs as u64),
+        }
+    }
+
+    /// Cycles elapsed so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// True once the drain has completed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.phase == EnginePhase::Done
+    }
+
+    /// Advances exactly one clock cycle; returns `true` while the run is
+    /// still in progress (a call on a finished sim is a no-op returning
+    /// `false`).
+    pub fn step(&mut self) -> bool {
+        match self.phase {
+            EnginePhase::SecretLoad { left } => {
+                self.cycles += 1;
+                if left == 1 {
+                    self.timeline.push_phase("secret_load", SECRET_LOAD_CYCLES, 0);
+                    self.phase = EnginePhase::PublicPreload {
+                        left: PUBLIC_PRELOAD_CYCLES,
+                    };
+                } else {
+                    self.phase = EnginePhase::SecretLoad { left: left - 1 };
+                }
+            }
+            EnginePhase::PublicPreload { left } => {
+                self.cycles += 1;
+                if left == 1 {
+                    self.timeline
+                        .push_phase("public_preload", PUBLIC_PRELOAD_CYCLES, 0);
+                    self.phase = EnginePhase::Compute;
+                } else {
+                    self.phase = EnginePhase::PublicPreload { left: left - 1 };
+                }
+            }
+            EnginePhase::Compute => {
+                let more = self.kernel.step();
+                self.cycles += 1;
+                self.compute_cycles += 1;
+                // Every MAC retires one coefficient product this cycle.
+                self.timeline.push_phase("compute", 1, self.macs as u64);
+                if !more {
+                    self.phase = EnginePhase::Drain { left: DRAIN_CYCLES };
+                }
+            }
+            EnginePhase::Drain { left } => {
+                self.cycles += 1;
+                if left == 1 {
+                    self.timeline.push_phase("drain", DRAIN_CYCLES, 0);
+                    // 39 of the 52 public words stream during compute
+                    // using the otherwise idle read port.
+                    self.timeline.add_counter("streamed_words", 52 - 13);
+                    self.phase = EnginePhase::Done;
+                } else {
+                    self.phase = EnginePhase::Drain { left: left - 1 };
+                }
+            }
+            EnginePhase::Done => {}
+        }
+        !self.is_done()
+    }
+
+    /// Consumes the finished simulation into the product, cycle report,
+    /// activity record and per-phase timeline ([`simulate`]'s historical
+    /// return tuple). Any remaining cycles are driven to completion
+    /// first.
+    #[must_use]
+    pub fn finish(mut self) -> (PolyQ, CycleReport, Activity, CycleTimeline) {
+        while self.step() {}
+        let secret_words = 16u64; // SecretPoly over the 64-bit port
+        let public_words = 52u64; // 256 × 13-bit coefficients
+        let drain_words = public_words;
+        let report = CycleReport {
+            compute_cycles: self.compute_cycles,
+            memory_overhead_cycles: SECRET_LOAD_CYCLES + PUBLIC_PRELOAD_CYCLES + DRAIN_CYCLES,
+        };
+        let activity = Activity {
+            cycles: report.total(),
+            bram_reads: secret_words + public_words,
+            bram_writes: drain_words,
+            // Streamed words are already counted in `public_words`.
+            io_words: secret_words + public_words + drain_words,
+            active_luts: 0, // filled in by the architecture wrapper
+            active_ffs: 0,
+            dsp_ops: 0,
+        };
+        debug_assert!(self.timeline.reconciles_with(report.total()));
+        (self.kernel.product(), report, activity, self.timeline)
+    }
 }
 
 /// Cycle-accurate inner product `Σᵢ aᵢ·sᵢ`: the accumulator stays

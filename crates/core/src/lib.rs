@@ -55,9 +55,10 @@ pub mod verify;
 
 pub use baseline::BaselineMultiplier;
 pub use centralized::CentralizedMultiplier;
-pub use dsp_packed::DspPackedMultiplier;
+pub use dsp_packed::{DspPackedMultiplier, DspPackedSim};
+pub use engine::{ComputeKernel, EngineSim};
 pub use karatsuba_hw::KaratsubaHwMultiplier;
-pub use lightweight::LightweightMultiplier;
+pub use lightweight::{LightweightMultiplier, LightweightSim};
 pub use lightweight_sliding::SlidingLightweightMultiplier;
 pub use report::{ArchitectureReport, HwMultiplier};
 pub use scheduler::{MatrixVectorScheduler, ScheduleStrategy};

@@ -134,105 +134,7 @@ impl LightweightMultiplier {
         a: &PolyQ,
         s: &SecretPoly,
     ) -> (PolyQ, CycleReport, Activity, saber_trace::CycleTimeline) {
-        let mut mem = Bram::new(ACC_BASE + ACC_WORDS);
-        let mut timeline = saber_trace::CycleTimeline::new("lw-4", MACS as u64);
-        // The host wrote the operands into the shared memory before
-        // starting the multiplier (those transfers belong to the caller,
-        // exactly as in the paper's accounting).
-        mem.preload(PUB_BASE, &packing::poly13_to_words(a));
-        mem.preload(SEC_BASE, &packing::secret_to_words(s));
-
-        let mut acc = [0u16; N];
-        let mut compute_cycles = 0u64;
-
-        for block in 0..BLOCKS {
-            // --- Load the block's 16 secret coefficients (2 cycles). ---
-            mem.issue_read(SEC_BASE + block).expect("port free");
-            mem.tick();
-            let secret_word = mem.read_data().expect("secret word arrives");
-            mem.tick(); // latch into the secret register
-            let block_secrets = decode_secret_word(secret_word);
-            timeline.push_phase("secret_load", 2, 0);
-            debug_assert_eq!(
-                block_secrets,
-                std::array::from_fn(|t| s.coeff(BLOCK_COEFFS * block + t)),
-                "secret register must match the operand"
-            );
-
-            // --- Pre-fill the public shift buffer: 2 words (3 cycles). ---
-            let mut pub_loaded = 0usize;
-            let mut buffer_bits = 0u32;
-            for w in 0..2 {
-                mem.issue_read(PUB_BASE + w).expect("port free");
-                mem.tick();
-                pub_loaded += 1;
-                buffer_bits += 64;
-            }
-            mem.tick(); // final latch
-            timeline.push_phase("public_prefill", 3, 0);
-
-            // --- Prime the accumulator window (2 cycles). ---
-            mem.issue_read(acc_word_addr(block, 0)).expect("port free");
-            mem.tick();
-            mem.tick();
-            timeline.push_phase("acc_prime", 2, 0);
-
-            // --- Compute: 256 coefficients × 4 cycles. ---
-            for i in 0..N {
-                // Consuming coefficient i drains 13 bits of the buffer.
-                buffer_bits -= 13;
-                let m = multiples(a.coeff(i));
-                for g in 0..4 {
-                    // Stream the next public word when ≥64 bits are free;
-                    // the load steals the read port, so the saturated
-                    // accumulator pipeline is flushed and refilled
-                    // (3 cycles with this design's minimal control).
-                    if 128 - buffer_bits >= 64 && pub_loaded < PUB_WORDS {
-                        mem.tick(); // drain in-flight MAC result
-                        mem.issue_read(PUB_BASE + pub_loaded)
-                            .expect("port stolen cleanly");
-                        mem.tick(); // word arrives
-                        pub_loaded += 1;
-                        buffer_bits += 64;
-                        mem.tick(); // refill the pipeline
-                        timeline.push_phase("stream_stall", 3, 0);
-                        timeline.add_counter("port_steals", 1);
-                    }
-                    // One MAC cycle: read the window needed next, write
-                    // the word finalized last, update 4 coefficients.
-                    let window = (i + 4 * g + 5) / 4 % ACC_WORDS;
-                    mem.issue_read(acc_word_addr(block, window))
-                        .expect("read port free");
-                    let prev = (i + 4 * g) / 4 % ACC_WORDS;
-                    mem.issue_write(acc_word_addr(block, prev), pack_acc_fields(&acc, i))
-                        .expect("write port free");
-                    for t in 0..MACS {
-                        let k = BLOCK_COEFFS * block + 4 * g + t;
-                        let pos = (i + k) % N;
-                        let wraps = i + k >= N;
-                        let sk = block_secrets[4 * g + t];
-                        let selector = if wraps { -sk } else { sk };
-                        acc[pos] = select_multiple(&m, selector, acc[pos]);
-                    }
-                    mem.tick();
-                    compute_cycles += 1;
-                    timeline.push_phase("compute", 1, MACS as u64);
-                }
-            }
-
-            // --- Drain the final window (2 cycles). ---
-            mem.issue_write(acc_word_addr(block, ACC_WORDS - 1), 0)
-                .expect("port free");
-            mem.tick();
-            mem.tick();
-            timeline.push_phase("acc_drain", 2, 0);
-        }
-
-        let stats = mem.stats();
-        let report = CycleReport {
-            compute_cycles,
-            memory_overhead_cycles: stats.cycles - compute_cycles,
-        };
+        let (product, report, stats, timeline) = LightweightSim::new(a, s).finish();
         let area = self.area();
         let activity = Activity {
             cycles: stats.cycles,
@@ -245,8 +147,272 @@ impl LightweightMultiplier {
             active_ffs: u64::from(area.ffs),
             dsp_ops: 0,
         };
-        debug_assert!(timeline.reconciles_with(stats.cycles));
-        (PolyQ::from_coeffs(acc), report, activity, timeline)
+        (product, report, activity, timeline)
+    }
+}
+
+/// Phase cursor of [`LightweightSim`] — the tiny control FSM of Fig. 4,
+/// one state step per clock cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LwPhase {
+    SecretLoad { step: u8 },
+    PublicPrefill { step: u8 },
+    AccPrime { step: u8 },
+    /// The 3-cycle port-steal stall before a MAC cycle.
+    StreamStall { step: u8 },
+    /// One MAC cycle for the current `(i, g)` position.
+    Mac,
+    AccDrain { step: u8 },
+    Done,
+}
+
+/// A resumable, one-cycle-per-[`step`](Self::step) simulation of the
+/// lightweight 4-MAC datapath — the same schedule
+/// [`LightweightMultiplier::multiply`] always ran, exposed as a stepper
+/// so a discrete-event scheduler (`saber-soc`) can interleave it with
+/// other components cycle by cycle.
+///
+/// Every `step` performs exactly one [`Bram::tick`], so the elapsed
+/// cycle count always equals the memory model's, and the port-conflict
+/// checks fire on exactly the same cycles as the historical
+/// run-to-completion loop (the standalone `multiply` is now exactly that
+/// thin driver over this stepper).
+#[derive(Debug, Clone)]
+pub struct LightweightSim {
+    a: PolyQ,
+    s: SecretPoly,
+    mem: Bram,
+    acc: [u16; N],
+    timeline: saber_trace::CycleTimeline,
+    compute_cycles: u64,
+    block: usize,
+    block_secrets: [i8; BLOCK_COEFFS],
+    pub_loaded: usize,
+    buffer_bits: u32,
+    i: usize,
+    g: usize,
+    phase: LwPhase,
+}
+
+impl LightweightSim {
+    /// Preloads the operands into the shared memory (the host wrote them
+    /// before starting the multiplier — those transfers belong to the
+    /// caller, exactly as in the paper's accounting) and parks the FSM
+    /// at the first block's secret load.
+    #[must_use]
+    pub fn new(a: &PolyQ, s: &SecretPoly) -> Self {
+        let mut mem = Bram::new(ACC_BASE + ACC_WORDS);
+        mem.preload(PUB_BASE, &packing::poly13_to_words(a));
+        mem.preload(SEC_BASE, &packing::secret_to_words(s));
+        Self {
+            a: a.clone(),
+            s: s.clone(),
+            mem,
+            acc: [0u16; N],
+            timeline: saber_trace::CycleTimeline::new("lw-4", MACS as u64),
+            compute_cycles: 0,
+            block: 0,
+            block_secrets: [0; BLOCK_COEFFS],
+            pub_loaded: 0,
+            buffer_bits: 0,
+            i: 0,
+            g: 0,
+            phase: LwPhase::SecretLoad { step: 0 },
+        }
+    }
+
+    /// Cycles elapsed so far (one per `step`, matching the BRAM model).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.mem.stats().cycles
+    }
+
+    /// True once all 16 block passes have drained.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.phase == LwPhase::Done
+    }
+
+    /// Stream the next public word when ≥64 bits are free; the load
+    /// steals the read port, so the saturated accumulator pipeline is
+    /// flushed and refilled (3 cycles with this design's minimal
+    /// control). Otherwise the next cycle is a plain MAC cycle.
+    fn begin_coeff_cycle(&mut self) {
+        self.phase = if 128 - self.buffer_bits >= 64 && self.pub_loaded < PUB_WORDS {
+            LwPhase::StreamStall { step: 0 }
+        } else {
+            LwPhase::Mac
+        };
+    }
+
+    /// After the MAC at `(i, g)`: advance to the next position, the
+    /// block drain, or (consuming 13 buffer bits per new coefficient)
+    /// the next coefficient's first cycle.
+    fn advance_position(&mut self) {
+        if self.g < 3 {
+            self.g += 1;
+            self.begin_coeff_cycle();
+        } else if self.i + 1 < N {
+            self.i += 1;
+            self.g = 0;
+            // Consuming coefficient i drains 13 bits of the buffer.
+            self.buffer_bits -= 13;
+            self.begin_coeff_cycle();
+        } else {
+            self.phase = LwPhase::AccDrain { step: 0 };
+        }
+    }
+
+    /// Advances exactly one clock cycle (one [`Bram::tick`]); returns
+    /// `true` while the run is still in progress (a call on a finished
+    /// sim is a no-op returning `false`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modeled schedule ever double-books a BRAM port —
+    /// the same port-conflict contract the run-to-completion loop had.
+    pub fn step(&mut self) -> bool {
+        match self.phase {
+            // --- Load the block's 16 secret coefficients (2 cycles). ---
+            LwPhase::SecretLoad { step: 0 } => {
+                self.mem.issue_read(SEC_BASE + self.block).expect("port free");
+                self.mem.tick();
+                self.phase = LwPhase::SecretLoad { step: 1 };
+            }
+            LwPhase::SecretLoad { .. } => {
+                let secret_word = self.mem.read_data().expect("secret word arrives");
+                self.mem.tick(); // latch into the secret register
+                self.block_secrets = decode_secret_word(secret_word);
+                self.timeline.push_phase("secret_load", 2, 0);
+                debug_assert_eq!(
+                    self.block_secrets,
+                    std::array::from_fn(|t| self.s.coeff(BLOCK_COEFFS * self.block + t)),
+                    "secret register must match the operand"
+                );
+                self.pub_loaded = 0;
+                self.buffer_bits = 0;
+                self.phase = LwPhase::PublicPrefill { step: 0 };
+            }
+            // --- Pre-fill the public shift buffer: 2 words (3 cycles). ---
+            LwPhase::PublicPrefill { step: step @ (0 | 1) } => {
+                self.mem
+                    .issue_read(PUB_BASE + usize::from(step))
+                    .expect("port free");
+                self.mem.tick();
+                self.pub_loaded += 1;
+                self.buffer_bits += 64;
+                self.phase = LwPhase::PublicPrefill { step: step + 1 };
+            }
+            LwPhase::PublicPrefill { .. } => {
+                self.mem.tick(); // final latch
+                self.timeline.push_phase("public_prefill", 3, 0);
+                self.phase = LwPhase::AccPrime { step: 0 };
+            }
+            // --- Prime the accumulator window (2 cycles). ---
+            LwPhase::AccPrime { step: 0 } => {
+                self.mem
+                    .issue_read(acc_word_addr(self.block, 0))
+                    .expect("port free");
+                self.mem.tick();
+                self.phase = LwPhase::AccPrime { step: 1 };
+            }
+            LwPhase::AccPrime { .. } => {
+                self.mem.tick();
+                self.timeline.push_phase("acc_prime", 2, 0);
+                // --- Compute: 256 coefficients × 4 cycles. ---
+                self.i = 0;
+                self.g = 0;
+                self.buffer_bits -= 13;
+                self.begin_coeff_cycle();
+            }
+            LwPhase::StreamStall { step: 0 } => {
+                self.mem.tick(); // drain in-flight MAC result
+                self.phase = LwPhase::StreamStall { step: 1 };
+            }
+            LwPhase::StreamStall { step: 1 } => {
+                self.mem
+                    .issue_read(PUB_BASE + self.pub_loaded)
+                    .expect("port stolen cleanly");
+                self.mem.tick(); // word arrives
+                self.pub_loaded += 1;
+                self.buffer_bits += 64;
+                self.phase = LwPhase::StreamStall { step: 2 };
+            }
+            LwPhase::StreamStall { .. } => {
+                self.mem.tick(); // refill the pipeline
+                self.timeline.push_phase("stream_stall", 3, 0);
+                self.timeline.add_counter("port_steals", 1);
+                self.phase = LwPhase::Mac;
+            }
+            // One MAC cycle: read the window needed next, write the word
+            // finalized last, update 4 coefficients.
+            LwPhase::Mac => {
+                let (i, g, block) = (self.i, self.g, self.block);
+                let m = multiples(self.a.coeff(i));
+                let window = (i + 4 * g + 5) / 4 % ACC_WORDS;
+                self.mem
+                    .issue_read(acc_word_addr(block, window))
+                    .expect("read port free");
+                let prev = (i + 4 * g) / 4 % ACC_WORDS;
+                self.mem
+                    .issue_write(acc_word_addr(block, prev), pack_acc_fields(&self.acc, i))
+                    .expect("write port free");
+                for t in 0..MACS {
+                    let k = BLOCK_COEFFS * block + 4 * g + t;
+                    let pos = (i + k) % N;
+                    let wraps = i + k >= N;
+                    let sk = self.block_secrets[4 * g + t];
+                    let selector = if wraps { -sk } else { sk };
+                    self.acc[pos] = select_multiple(&m, selector, self.acc[pos]);
+                }
+                self.mem.tick();
+                self.compute_cycles += 1;
+                self.timeline.push_phase("compute", 1, MACS as u64);
+                self.advance_position();
+            }
+            // --- Drain the final window (2 cycles). ---
+            LwPhase::AccDrain { step: 0 } => {
+                self.mem
+                    .issue_write(acc_word_addr(self.block, ACC_WORDS - 1), 0)
+                    .expect("port free");
+                self.mem.tick();
+                self.phase = LwPhase::AccDrain { step: 1 };
+            }
+            LwPhase::AccDrain { .. } => {
+                self.mem.tick();
+                self.timeline.push_phase("acc_drain", 2, 0);
+                self.block += 1;
+                self.phase = if self.block == BLOCKS {
+                    LwPhase::Done
+                } else {
+                    LwPhase::SecretLoad { step: 0 }
+                };
+            }
+            LwPhase::Done => {}
+        }
+        !self.is_done()
+    }
+
+    /// Consumes the finished simulation into the product, cycle report,
+    /// memory statistics and per-phase timeline. Any remaining cycles
+    /// are driven to completion first.
+    #[must_use]
+    pub fn finish(
+        mut self,
+    ) -> (
+        PolyQ,
+        CycleReport,
+        saber_hw::bram::BramStats,
+        saber_trace::CycleTimeline,
+    ) {
+        while self.step() {}
+        let stats = self.mem.stats();
+        let report = CycleReport {
+            compute_cycles: self.compute_cycles,
+            memory_overhead_cycles: stats.cycles - self.compute_cycles,
+        };
+        debug_assert!(self.timeline.reconciles_with(stats.cycles));
+        (PolyQ::from_coeffs(self.acc), report, stats, self.timeline)
     }
 }
 

@@ -5,6 +5,18 @@
 //! module provides the generic harness used by test benches and
 //! examples — register a set of [`Clocked`] components, step them in
 //! lock-step, and stop on a condition or a watchdog.
+//!
+//! Wall-clock measurement goes through the shared
+//! [`saber_trace::clock::Clock`] abstraction (see
+//! [`Simulation::run_timed`]) rather than a private time source, so
+//! `FakeClock`-driven tests can assert the timing paths
+//! deterministically.
+//!
+//! For runs that need *more* than a single lock-step clock — divided
+//! clocks, event-driven components, a shared bus — the successor harness
+//! is `saber-soc`: its `ClockedComponent` adapter lifts any [`Clocked`]
+//! primitive onto the discrete-event scheduler with the same
+//! borrowed-component style used here.
 
 /// A sequential component that advances one clock edge at a time.
 pub trait Clocked {
@@ -95,6 +107,22 @@ impl<'a> Simulation<'a> {
         }
         self.cycle - start
     }
+
+    /// [`run_until_or`](Self::run_until_or), with wall time measured
+    /// through the injected [`saber_trace::clock::Clock`]. Returns
+    /// `(edges applied, wall nanoseconds)`; pass a
+    /// `saber_trace::clock::FakeClock` to test the measurement path
+    /// deterministically.
+    pub fn run_timed<F: FnMut(u64) -> bool>(
+        &mut self,
+        done: F,
+        watchdog: u64,
+        clock: &mut dyn saber_trace::clock::Clock,
+    ) -> (u64, u64) {
+        let start_ns = clock.now_ns();
+        let edges = self.run_until_or(done, watchdog);
+        (edges, clock.now_ns().saturating_sub(start_ns))
+    }
 }
 
 impl std::fmt::Debug for Simulation<'_> {
@@ -149,5 +177,19 @@ mod tests {
         sim.add(&mut dsp);
         let ran = sim.run_until_or(|c| c >= 2, 100);
         assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn run_timed_measures_through_the_injected_clock() {
+        use saber_trace::clock::FakeClock;
+        let mut dsp = Dsp48::new(3);
+        dsp.issue(6, 7, 0).unwrap();
+        let mut sim = Simulation::new();
+        sim.add(&mut dsp);
+        let mut clock = FakeClock::scripted(vec![1_000, 26_000]);
+        let (edges, wall_ns) = sim.run_timed(|_| false, 3, &mut clock);
+        assert_eq!(edges, 3);
+        assert_eq!(wall_ns, 25_000, "scripted timestamps drive the result");
+        assert!(clock.exhausted(), "exactly two now_ns calls");
     }
 }

@@ -1,0 +1,181 @@
+//! The deterministic tick-order fuzzer: same-cycle service-order
+//! permutation testing with greedy shrinking.
+//!
+//! # How it works
+//!
+//! A *case* is one run of the co-simulation scenario under
+//! [`OrderPolicy::Seeded`] with a shuffle seed derived from
+//! `(base_seed, case index)` — fully deterministic, so any failure is
+//! replayable from two integers. The case's [`ScenarioOutcome`] is
+//! compared against a single reference run under
+//! [`OrderPolicy::Canonical`] *with the same mutant configuration*: a
+//! correct SoC (see the ordering contract in [`crate::component`]) is
+//! permutation-invariant, so any divergence is a schedule race.
+//!
+//! # Shrinking
+//!
+//! A failing case's recorded order deviations — the cycles where a
+//! non-canonical order was actually applied — are minimized ddmin-style:
+//! remove blocks of deviations (halving the block size down to one) and
+//! keep any subset that still diverges when replayed under
+//! [`OrderPolicy::Scripted`]. If a single deviating cycle survives, its
+//! permutation is further reduced toward a single transposition of the
+//! canonical order. The result is a reproducer of the form "swap these
+//! two components on this one cycle", small enough to reason about by
+//! hand.
+
+use std::collections::BTreeMap;
+
+use crate::component::ComponentId;
+use crate::scenario::{run_scenario, ScenarioConfig, ScenarioOutcome};
+use crate::scheduler::OrderPolicy;
+
+/// Seed-mixing constant (the 64-bit golden ratio).
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The shuffle seed of case `case` under `base_seed` — exposed so a
+/// failure reported by CI can be replayed directly.
+#[must_use]
+pub fn shuffle_seed_for_case(base_seed: u64, case: usize) -> u64 {
+    base_seed ^ (case as u64 + 1).wrapping_mul(GOLDEN)
+}
+
+/// A schedule race found by the fuzzer, shrunk to a minimal reproducer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceFinding {
+    /// Zero-based index of the first diverging case.
+    pub case: usize,
+    /// The diverging case's shuffle seed (replay with
+    /// [`OrderPolicy::Seeded`]).
+    pub shuffle_seed: u64,
+    /// Minimal set of same-cycle orders that still reproduces the
+    /// divergence (replay with [`OrderPolicy::Scripted`]).
+    pub reproducer: Vec<(u64, Vec<ComponentId>)>,
+}
+
+/// Result of a fuzz sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzReport {
+    /// Cases executed (equals the budget when nothing diverged).
+    pub cases_run: usize,
+    /// The first divergence, shrunk — `None` means permutation-invariant
+    /// over the whole sweep.
+    pub finding: Option<RaceFinding>,
+}
+
+/// Runs up to `budget` seeded-shuffle cases of the scenario described by
+/// `reference_cfg` (its `policy` field is ignored; the reference always
+/// runs canonically) and shrinks the first divergence found.
+///
+/// # Panics
+///
+/// Panics if the reference run hits the scheduler watchdog — that is a
+/// scenario bug, not a schedule race.
+#[must_use]
+pub fn fuzz_scenario(reference_cfg: &ScenarioConfig, budget: usize) -> FuzzReport {
+    let mut ref_cfg = reference_cfg.clone();
+    ref_cfg.policy = OrderPolicy::Canonical;
+    let (reference, _) = run_scenario(&ref_cfg);
+    assert!(!reference.timed_out, "reference run hit the watchdog");
+
+    for case in 0..budget {
+        let shuffle_seed = shuffle_seed_for_case(ref_cfg.seed, case);
+        let mut cfg = ref_cfg.clone();
+        cfg.policy = OrderPolicy::Seeded(shuffle_seed);
+        let (outcome, deviations) = run_scenario(&cfg);
+        if outcome != reference {
+            return FuzzReport {
+                cases_run: case + 1,
+                finding: Some(RaceFinding {
+                    case,
+                    shuffle_seed,
+                    reproducer: shrink(&ref_cfg, &reference, deviations),
+                }),
+            };
+        }
+    }
+    FuzzReport {
+        cases_run: budget,
+        finding: None,
+    }
+}
+
+/// True when replaying `orders` under [`OrderPolicy::Scripted`] still
+/// diverges from the canonical reference.
+fn diverges(
+    ref_cfg: &ScenarioConfig,
+    reference: &ScenarioOutcome,
+    orders: &[(u64, Vec<ComponentId>)],
+) -> bool {
+    let script: BTreeMap<u64, Vec<ComponentId>> = orders.iter().cloned().collect();
+    let mut cfg = ref_cfg.clone();
+    cfg.policy = OrderPolicy::Scripted(script);
+    let (outcome, _) = run_scenario(&cfg);
+    outcome != *reference
+}
+
+/// Greedy ddmin over the recorded deviations, then permutation
+/// minimization of a surviving single cycle. Falls back to the raw
+/// deviation list if even the full replay does not diverge (possible
+/// when the seeded run's divergence shifted which batches existed).
+#[must_use]
+pub fn shrink(
+    ref_cfg: &ScenarioConfig,
+    reference: &ScenarioOutcome,
+    deviations: Vec<(u64, Vec<ComponentId>)>,
+) -> Vec<(u64, Vec<ComponentId>)> {
+    if deviations.is_empty() || !diverges(ref_cfg, reference, &deviations) {
+        return deviations;
+    }
+    let mut current = deviations;
+
+    // Phase 1: ddmin block removal over deviation cycles.
+    let mut block = current.len().div_ceil(2);
+    while block >= 1 && current.len() > 1 {
+        let mut start = 0;
+        let mut reduced = false;
+        while start < current.len() && current.len() > 1 {
+            let end = (start + block).min(current.len());
+            let mut candidate = current[..start].to_vec();
+            candidate.extend_from_slice(&current[end..]);
+            if !candidate.is_empty() && diverges(ref_cfg, reference, &candidate) {
+                current = candidate;
+                reduced = true;
+                // Retry the same offset: the list shrank under us.
+            } else {
+                start = end;
+            }
+        }
+        if block == 1 && !reduced {
+            break;
+        }
+        block = (block / 2).max(1);
+        if block == 1 && current.len() == 1 {
+            break;
+        }
+    }
+
+    // Phase 2: reduce a lone surviving cycle's permutation toward a
+    // single transposition of the canonical (id-ascending) order.
+    if current.len() == 1 {
+        let (cycle, order) = current[0].clone();
+        let mut canonical = order.clone();
+        canonical.sort();
+        'search: for i in 0..canonical.len() {
+            for j in (i + 1)..canonical.len() {
+                let mut candidate = canonical.clone();
+                candidate.swap(i, j);
+                if candidate == order {
+                    // Already a single transposition.
+                    break 'search;
+                }
+                let attempt = vec![(cycle, candidate)];
+                if diverges(ref_cfg, reference, &attempt) {
+                    current = attempt;
+                    break 'search;
+                }
+            }
+        }
+    }
+    current
+}

@@ -1,0 +1,109 @@
+//! The first co-simulated SoC scenario: HS-I multiplier + Keccak XOF
+//! DMA + shared BRAM, at 1:1 and 2:1 clock ratios.
+//!
+//! Locks three things:
+//! 1. **Functional correctness through the bus** — the product drained
+//!    into shared memory equals the schoolbook product of the
+//!    XOF-derived public polynomial and the preloaded secret.
+//! 2. **Reconciliation with the isolated datapath** — the co-simulated
+//!    multiplier spends *exactly* 128 compute-kernel cycles (the §4.1
+//!    number for 512 MACs); sharing the bus moves only the
+//!    load/stall/drain cycles, never the compute.
+//! 3. **Determinism** — same config, same outcome, byte for byte.
+
+use saber_keccak::Shake128;
+use saber_ring::{packing, schoolbook};
+use saber_soc::scenario::{operands, MULT_ID, PUBLIC_WORDS, XOF_ID};
+use saber_soc::{run_scenario, ScenarioConfig};
+
+const SEED: u64 = 0xC0DE_CAB1;
+
+fn le_words(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+#[test]
+fn cosim_product_matches_software_oracle() {
+    let (outcome, _) = run_scenario(&ScenarioConfig::reference(SEED, 1));
+    assert!(!outcome.timed_out);
+
+    // Oracle: public polynomial from the software XOF, schoolbook product.
+    let (seed_bytes, secret) = operands(SEED);
+    let xof_words = le_words(&Shake128::xof(&seed_bytes, PUBLIC_WORDS * 8));
+    assert_eq!(
+        outcome.public_words, xof_words,
+        "the DMA must stream the exact XOF bytes into shared memory"
+    );
+    let public = packing::poly13_from_words(&xof_words);
+    let expected = schoolbook::mul_asym(&public, &secret);
+    assert_eq!(
+        outcome.product_words,
+        packing::poly13_to_words(&expected),
+        "the drained product must be the schoolbook product"
+    );
+    // The component's own output bytes agree with shared memory.
+    let mem_bytes: Vec<u8> = outcome
+        .product_words
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect();
+    assert_eq!(outcome.product_bytes, mem_bytes);
+}
+
+#[test]
+fn cosim_reconciles_with_isolated_compute_cycles() {
+    for stride in [1, 2] {
+        let (outcome, _) = run_scenario(&ScenarioConfig::reference(SEED, stride));
+        assert_eq!(
+            outcome.compute_ticks, 128,
+            "512-MAC compute is untouched by bus sharing (stride {stride})"
+        );
+    }
+}
+
+#[test]
+fn cosim_is_deterministic() {
+    let (a, da) = run_scenario(&ScenarioConfig::reference(SEED, 1));
+    let (b, db) = run_scenario(&ScenarioConfig::reference(SEED, 1));
+    assert_eq!(a, b);
+    assert_eq!(da, db);
+    assert!(da.is_empty(), "canonical order never deviates");
+}
+
+#[test]
+fn cosim_clock_ratios_have_locked_makespans() {
+    let (r11, _) = run_scenario(&ScenarioConfig::reference(SEED, 1));
+    let (r21, _) = run_scenario(&ScenarioConfig::reference(SEED, 2));
+
+    // The seed fetch and secret load overlap: real contention happens.
+    assert!(r11.contended_cycles > 0, "no contention at 1:1?");
+
+    // Same bytes at both ratios — the divider changes time, not data.
+    assert_eq!(r11.product_words, r21.product_words);
+    assert_eq!(r11.public_words, r21.public_words);
+
+    // Golden makespans (README "SoC co-simulation" quotes these).
+    assert_eq!(r11.makespan, 395);
+    assert_eq!(r21.makespan, 629);
+    assert_eq!(r11.contended_cycles, 19);
+    assert_eq!(r21.contended_cycles, 7);
+
+    // XOF work is identical at both ratios: 4 fetch ticks + 145 sponge
+    // cycles + the `xof_done` raise, independent of the multiplier clock.
+    let xof11 = &r11.fingerprint.components[XOF_ID.0];
+    let xof21 = &r21.fingerprint.components[XOF_ID.0];
+    assert_eq!(xof11.1.busy_cycles, xof21.1.busy_cycles);
+
+    // The multiplier finishes later at 2:1; its work ticks (posts,
+    // grant consumption, compute, drain) are bounded below by the word
+    // counts plus the 128 compute cycles at either ratio.
+    let m11 = &r11.fingerprint.components[MULT_ID.0];
+    let m21 = &r21.fingerprint.components[MULT_ID.0];
+    assert!(m21.1.done_at.unwrap() > m11.1.done_at.unwrap());
+    for m in [m11, m21] {
+        assert!(m.1.busy_cycles >= 128 + 16 + 52 + 52);
+    }
+}

@@ -1,5 +1,6 @@
 //! Regenerates the Rust-sourced golden KAT files under
-//! `crates/verify/kats/` (ring multiplication, PKE, KEM round trips).
+//! `crates/verify/kats/` (ring multiplication, PKE, KEM round trips,
+//! cycle totals).
 //!
 //! The keccak vectors are deliberately **not** produced here: they come
 //! from an independent implementation via
@@ -19,6 +20,7 @@ fn main() -> std::io::Result<()> {
         ("ring_mul", kat::gen_ring()),
         ("pke", kat::gen_pke()),
         ("kem_roundtrip", kat::gen_kem()),
+        ("cycle_totals", kat::gen_cycles()),
     ] {
         let path = dir.join(format!("{stem}.json"));
         std::fs::write(&path, json::write(&doc))?;

@@ -18,6 +18,10 @@
 
 use std::path::PathBuf;
 
+use saber_core::engine::MacStyle;
+use saber_core::{DspPackedSim, EngineSim, LightweightSim};
+use saber_hw::keccak_core::{sponge_on_core, KeccakCore};
+use saber_hw::CycleReport;
 use saber_kem::{kem, serialize, ALL_PARAMS};
 use saber_keccak::{Sha3_256, Sha3_512, Shake128, Shake256};
 use saber_ring::mul::SchoolbookMultiplier;
@@ -323,6 +327,150 @@ pub fn verify_kem(doc: &Value) -> Result<usize, String> {
     Ok(vectors.len())
 }
 
+// --- cycle totals --------------------------------------------------------
+
+/// Every cycle model the workspace quotes against the paper, with the
+/// DAC 2021 Table-style totals the frozen file is expected to pin:
+/// `(model, compute cycles, total cycles)`.
+///
+/// These constants are *documentation*, asserted by [`gen_cycles`] as a
+/// self-check — the KAT file itself is produced by running the live
+/// models, so a silent drift in any stepper shows up as a generator
+/// failure, not a quietly regenerated file.
+pub const CYCLE_MODELS: [(&str, u64, u64); 9] = [
+    // Baseline [10] and HS-I at 256 MACs: N·N/256 = 256 compute cycles,
+    // 341 with the 17 + 14 + 54 load/drain overhead.
+    ("baseline-256", 256, 341),
+    ("hs1-256", 256, 341),
+    // The 512-MAC high-speed variants halve compute: 128 + 85 = 213.
+    ("baseline-512", 128, 213),
+    ("hs1-512", 128, 213),
+    // HS-II DSP-packed: 131 cycles on one bank, 67 on two.
+    ("hs2-128", 131, 216),
+    ("hs2-256", 67, 152),
+    // Lightweight 4-MAC: 16 384 compute, 18 928 with BRAM traffic.
+    ("lw-4", 16_384, 18_928),
+    // Keccak-f[1600] core: one round per cycle.
+    ("keccak-permutation", 24, 24),
+    // SHAKE-128 of a 32-byte seed into 416 bytes: 3 permutations plus
+    // 73 one-word bus transfers (21 absorbed, 52 squeezed reads).
+    ("keccak-shake128-416", 72, 145),
+];
+
+/// Deterministic operands for the cycle measurements. Totals are
+/// data-independent (the gate below would catch a model whose timing
+/// became data-dependent), so one fixed pair suffices.
+fn cycle_operands() -> (PolyQ, SecretPoly) {
+    (
+        PolyQ::from_fn(|i| ((i as u16).wrapping_mul(0x1359) ^ 0x0a5a) & 0x1fff),
+        SecretPoly::from_fn(|i| (((i as u32 * 7 + 3) % 9) as i8) - 4),
+    )
+}
+
+/// Runs the named cycle model to completion and returns
+/// `(compute cycles, total cycles)` from its own [`CycleReport`].
+///
+/// # Errors
+///
+/// Returns a message for an unknown model name.
+pub fn measured_cycles(model: &str) -> Result<(u64, u64), String> {
+    let (a, s) = cycle_operands();
+    let report = match model {
+        "baseline-256" => EngineSim::new(&a, &s, 256, MacStyle::PerMac).finish().1,
+        "hs1-256" => EngineSim::new(&a, &s, 256, MacStyle::Centralized).finish().1,
+        "baseline-512" => EngineSim::new(&a, &s, 512, MacStyle::PerMac).finish().1,
+        "hs1-512" => EngineSim::new(&a, &s, 512, MacStyle::Centralized).finish().1,
+        "hs2-128" => DspPackedSim::new(&a, &s, 1).finish().1,
+        "hs2-256" => DspPackedSim::new(&a, &s, 2).finish().1,
+        "lw-4" => LightweightSim::new(&a, &s).finish().1,
+        "keccak-permutation" => {
+            let mut core = KeccakCore::new();
+            core.start_permutation();
+            let rounds = core.run_to_completion();
+            CycleReport {
+                compute_cycles: rounds,
+                memory_overhead_cycles: 0,
+            }
+        }
+        "keccak-shake128-416" => {
+            let mut core = KeccakCore::new();
+            core.start_permutation();
+            core.run_to_completion();
+            let permutation_cycles = core.cycles();
+            let (_, total) = sponge_on_core(&[0x5a; 32], 416, 168, 0x1f);
+            // 416 bytes at rate 168 needs 3 permutations; the rest of
+            // the cycles are one-word bus transfers.
+            CycleReport {
+                compute_cycles: 3 * permutation_cycles,
+                memory_overhead_cycles: total - 3 * permutation_cycles,
+            }
+        }
+        other => return Err(format!("unknown cycle model {other:?}")),
+    };
+    Ok((report.compute_cycles, report.total()))
+}
+
+/// Generates the cycle-total vectors by running every live model.
+///
+/// # Panics
+///
+/// Panics if any live model disagrees with the paper-reconciled
+/// [`CYCLE_MODELS`] constants — regeneration must never launder a
+/// timing regression into the frozen file.
+#[must_use]
+pub fn gen_cycles() -> Value {
+    let vectors = CYCLE_MODELS
+        .iter()
+        .map(|&(model, compute, total)| {
+            let (measured_compute, measured_total) =
+                measured_cycles(model).expect("CYCLE_MODELS names are exhaustive");
+            assert_eq!(
+                (measured_compute, measured_total),
+                (compute, total),
+                "generator self-check: {model} drifted from its paper-reconciled total"
+            );
+            obj(vec![
+                ("model", s(model)),
+                ("compute_cycles", Value::Int(compute as i64)),
+                ("total_cycles", Value::Int(total as i64)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("name", s("cycle_totals")),
+        (
+            "source",
+            s("saber-verify gen-kats (live cycle models, reconciled with DAC 2021 tables)"),
+        ),
+        ("vectors", Value::Array(vectors)),
+    ])
+}
+
+/// Replays the cycle-total vectors: re-runs every model live and
+/// compares both counts against the frozen file.
+///
+/// # Errors
+///
+/// Returns the first mismatching model with both cycle pairs.
+pub fn verify_cycles(doc: &Value) -> Result<usize, String> {
+    let vectors = vectors_of(doc, "cycle_totals")?;
+    for (i, vector) in vectors.iter().enumerate() {
+        let model = vector.str_field("model")?;
+        let frozen_compute = vector.int_field("compute_cycles")?;
+        let frozen_total = vector.int_field("total_cycles")?;
+        let (compute, total) =
+            measured_cycles(model).map_err(|e| format!("cycle vector {i}: {e}"))?;
+        if (compute as i64, total as i64) != (frozen_compute, frozen_total) {
+            return Err(format!(
+                "cycle vector {i} ({model}): measured {compute}+{} = {total}, \
+                 frozen file says {frozen_compute} compute / {frozen_total} total",
+                total - compute
+            ));
+        }
+    }
+    Ok(vectors.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +485,35 @@ mod tests {
     fn generation_is_deterministic() {
         assert_eq!(crate::json::write(&gen_ring()), crate::json::write(&gen_ring()));
         assert_eq!(crate::json::write(&gen_kem()), crate::json::write(&gen_kem()));
+        assert_eq!(
+            crate::json::write(&gen_cycles()),
+            crate::json::write(&gen_cycles())
+        );
+    }
+
+    #[test]
+    fn generated_cycle_vectors_replay() {
+        let doc = gen_cycles();
+        assert_eq!(verify_cycles(&doc).unwrap(), CYCLE_MODELS.len());
+    }
+
+    #[test]
+    fn cycle_verification_rejects_a_drifted_total() {
+        let mut doc = gen_cycles();
+        if let Value::Object(entries) = &mut doc {
+            if let Some((_, Value::Array(vectors))) =
+                entries.iter_mut().find(|(k, _)| k == "vectors")
+            {
+                if let Value::Object(fields) = &mut vectors[0] {
+                    for (k, v) in fields.iter_mut() {
+                        if k == "total_cycles" {
+                            *v = Value::Int(342);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(verify_cycles(&doc).unwrap_err().contains("baseline-256"));
     }
 
     #[test]

@@ -37,6 +37,17 @@ fn kem_roundtrip_kats_replay() {
 }
 
 #[test]
+fn cycle_total_kats_replay() {
+    let doc = kat::load("cycle_totals").expect("checked-in KAT file");
+    let checked = kat::verify_cycles(&doc).expect("frozen cycle totals must replay");
+    assert_eq!(
+        checked,
+        kat::CYCLE_MODELS.len(),
+        "every paper-quoted model is pinned"
+    );
+}
+
+#[test]
 fn checked_in_rust_vectors_match_the_generator() {
     // The files on disk must be exactly what `gen-kats` writes today —
     // this catches a forgotten regeneration after a deliberate framing
@@ -46,6 +57,7 @@ fn checked_in_rust_vectors_match_the_generator() {
         ("ring_mul", kat::gen_ring()),
         ("pke", kat::gen_pke()),
         ("kem_roundtrip", kat::gen_kem()),
+        ("cycle_totals", kat::gen_cycles()),
     ] {
         let on_disk = kat::load(stem).expect("checked-in KAT file");
         assert_eq!(

@@ -7,7 +7,8 @@
 #   tools/ci.sh timing_gate   # one named stage (plus its dependencies)
 #
 # Stage names: lint build test fuzz swar_gate fault_gate
-# fast_engine_gate ct_engine_gate timing_gate service trace bench
+# fast_engine_gate ct_engine_gate timing_gate soc_gate service trace
+# bench
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -87,6 +88,23 @@ fi
 if want timing_gate; then
     echo "==> timing gate: ct engine clean + planted mutants flagged (release)"
     SABER_TIMING_SEED=1518301440 cargo test -q --release -p saber-timing --test timing_gate
+fi
+
+# SoC schedule-race gate: the pinned-seed tick-order fuzz sweep
+# (base seed 0x5ABE_2026, 64 cases) must leave the unmutated SoC
+# permutation-invariant at both clock ratios, both planted schedule
+# races (insertion-order arbitration, unlatched Keccak valid flag) must
+# be caught *and* shrunk to minimal reproducers within the budget, and
+# every cycle model under the event scheduler must match its standalone
+# paper-reconciled total. The frozen cycle-total KATs replay alongside
+# so a timing drift and a schedule race cannot mask each other.
+if want soc_gate; then
+    echo "==> soc gate: tick-order fuzz + planted races + equivalence (release)"
+    cargo test -q --release -p saber-soc --test tick_fuzz
+    cargo test -q --release -p saber-soc --test scheduler_equivalence
+    cargo test -q --release -p saber-soc --test cosim_scenario
+    echo "==> soc gate: frozen cycle-total KATs replay (release)"
+    cargo test -q --release -p saber-verify --test golden_kats cycle_total
 fi
 
 if want service; then

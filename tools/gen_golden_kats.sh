@@ -4,7 +4,8 @@
 # Two provenances, two generators:
 #   * keccak.json       — CPython hashlib (independent oracle)
 #   * ring_mul / pke /
-#     kem_roundtrip     — the workspace's own schoolbook path, frozen
+#     kem_roundtrip /
+#     cycle_totals      — the workspace's own verified models, frozen
 #
 # A diff in the regenerated output means either the frozen answers were
 # wrong or the byte framing changed on purpose; both deserve review, so
