@@ -20,7 +20,9 @@
 
 use std::time::Instant;
 
-use saber_bench::microbench::{black_box, disabled_probe_ns, enabled_span_ns};
+use saber_bench::microbench::{
+    black_box, disabled_probe_ns, enabled_span_ns, flight_armed_span_ns, flight_disabled_probe_ns,
+};
 use saber_kem::expand::{gen_matrix, gen_secret};
 use saber_kem::params::SABER;
 use saber_ring::CachedSchoolbookMultiplier;
@@ -33,10 +35,23 @@ fn main() {
 
     println!("\n=== Tracing overhead (disabled-path gate) ===\n");
 
+    let max_flight_ns: f64 = std::env::var("SABER_FLIGHT_MAX_DISABLED_NS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+
     let disabled = disabled_probe_ns();
     let enabled = enabled_span_ns();
     println!("disabled probe: {disabled:.3} ns");
     println!("enabled span:   {enabled:.1} ns");
+
+    // The flight recorder's disabled-path price (its ISSUE-budgeted
+    // bound is tighter than the trace gate: sub-10 ns) and its armed
+    // ring-write price, for scale.
+    let flight_disabled = flight_disabled_probe_ns();
+    let flight_armed = flight_armed_span_ns();
+    println!("flight-off probe:   {flight_disabled:.3} ns");
+    println!("flight-armed span:  {flight_armed:.1} ns");
 
     // The instrumented batched mat-vec hot path, tracing disabled (the
     // production configuration). rank² dedup probes + rank decompose
@@ -63,5 +78,13 @@ fn main() {
         );
         std::process::exit(1);
     }
+    if flight_disabled > max_flight_ns {
+        eprintln!(
+            "FAIL: flight-off probe costs {flight_disabled:.3} ns > {max_flight_ns:.1} ns \
+             (SABER_FLIGHT_MAX_DISABLED_NS)"
+        );
+        std::process::exit(1);
+    }
     println!("\ndisabled-path gate: OK ({disabled:.3} ns <= {max_disabled_ns:.1} ns)");
+    println!("flight-path gate:   OK ({flight_disabled:.3} ns <= {max_flight_ns:.1} ns)");
 }

@@ -203,6 +203,66 @@ pub fn disabled_probe_ns() -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
+/// Mean cost in nanoseconds of one tracing probe with *both* the trace
+/// session and the flight recorder off — the exact configuration
+/// production code ships in. Relative to [`disabled_probe_ns`] this
+/// prices the flight recorder's addition to the disabled path: one
+/// extra relaxed atomic load. `tools/ci.sh obs_gate` thresholds this
+/// number (`SABER_FLIGHT_MAX_DISABLED_NS`, default 10 ns).
+///
+/// # Panics
+///
+/// Panics if a trace session is active or the flight recorder is armed
+/// (the measurement would then time a recording path).
+#[must_use]
+pub fn flight_disabled_probe_ns() -> f64 {
+    assert!(
+        !saber_trace::enabled(),
+        "flight disabled-probe measurement requires no active trace session"
+    );
+    assert!(
+        !saber_trace::flight::enabled(),
+        "flight disabled-probe measurement requires the flight recorder off"
+    );
+    let iters: u64 = 4_000_000;
+    for _ in 0..10_000 {
+        let _ = black_box(saber_trace::span("bench", "flight_probe"));
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        let _ = black_box(saber_trace::span("bench", "flight_probe"));
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Mean cost in nanoseconds of one span recorded into the flight ring
+/// (recorder armed, no trace session) — the always-on production price
+/// once a service arms the recorder at spawn.
+///
+/// # Panics
+///
+/// Panics if the armed spans are not recorded into the ring.
+#[must_use]
+pub fn flight_armed_span_ns() -> f64 {
+    use saber_trace::flight;
+    let before = flight::recorded_total();
+    flight::set_enabled(true);
+    let iters: u64 = 200_000;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let _ = black_box(saber_trace::span("bench", "flight_probe"));
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    flight::set_enabled(false);
+    let recorded = flight::recorded_total() - before;
+    flight::clear_current_thread();
+    assert!(
+        recorded >= iters,
+        "every armed span must be recorded into the flight ring"
+    );
+    ns
+}
+
 /// Mean cost in nanoseconds of one recorded span while a session is
 /// live (the price of *profiling*, not of shipping instrumented code).
 #[must_use]

@@ -22,7 +22,14 @@
 //! * [`metrics`] — atomic counters, fixed-bucket latency histograms,
 //!   and the [`ServiceReport`] JSON snapshot;
 //! * [`loadgen`] — the deterministic seeded load generator whose
-//!   transcripts prove N-worker execution ≡ sequential execution.
+//!   transcripts prove N-worker execution ≡ sequential execution;
+//! * [`obs`] — process-wide observability hooks: flight-recorder
+//!   arming and the crash-dump panic hook (both installed by
+//!   [`KemService::spawn`]);
+//! * [`snapshot`] — the unified [`MetricsSnapshot`] registry merging
+//!   the service report, trace counters, flight status, auto-tune
+//!   decision, and SoC fingerprint into one versioned JSON document
+//!   plus a linted Prometheus text exposition.
 //!
 //! # Examples
 //!
@@ -45,9 +52,14 @@
 
 pub mod loadgen;
 pub mod metrics;
+pub mod obs;
 pub mod queue;
 pub mod service;
+pub mod snapshot;
 
 pub use loadgen::{build_plan, run_sequential, run_service, LoadPlan, LoadProfile, OpMix, Transcript};
 pub use metrics::{OpKind, ServiceReport};
 pub use service::{Gate, JobError, JobHandle, KemService, ServiceConfig, SubmitError};
+pub use snapshot::{
+    lint_prometheus, FlightStatus, MetricsSnapshot, SocComponentStats, SocSection,
+};

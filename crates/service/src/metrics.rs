@@ -38,6 +38,23 @@ pub const BUCKET_BOUNDS_NS: [u64; BUCKET_COUNT] = {
     bounds
 };
 
+/// The canonical serialized label for a bucket's upper edge: the
+/// decimal bound for the 15 finite buckets, `"+Inf"` for the overflow
+/// bucket. **Both** serialized forms of the histograms — the JSON
+/// `bucket_bounds_ns` array and the Prometheus `le` labels — use this
+/// exact string, so the two expositions can never disagree on an edge
+/// (cumulative `le` semantics; the exclusive-upper-bound convention of
+/// [`bucket_index`] maps bucket `i` to `le = BUCKET_BOUNDS_NS[i]`).
+#[must_use]
+pub fn bucket_edge_label(index: usize) -> String {
+    let bound = BUCKET_BOUNDS_NS[index];
+    if bound == u64::MAX {
+        "+Inf".to_string()
+    } else {
+        bound.to_string()
+    }
+}
+
 /// The bucket a latency sample falls into.
 #[must_use]
 pub fn bucket_index(ns: u64) -> usize {
@@ -371,8 +388,25 @@ impl ServiceReport {
                 ),
             ),
             (
+                // The 15 finite edges as integers; the overflow bucket
+                // as the string "+Inf" — identical to the Prometheus
+                // `le` labels (see `bucket_edge_label`). The old
+                // encoding clamped u64::MAX to i64::MAX here, which
+                // disagreed with the exposition's `+Inf` edge.
                 "bucket_bounds_ns".into(),
-                Value::Array(BUCKET_BOUNDS_NS.iter().map(|&b| int(b.min(i64::MAX as u64))).collect()),
+                Value::Array(
+                    BUCKET_BOUNDS_NS
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &b)| {
+                            if b == u64::MAX {
+                                Value::Str(bucket_edge_label(i))
+                            } else {
+                                int(b)
+                            }
+                        })
+                        .collect(),
+                ),
             ),
             ("ops".into(), Value::Array(ops)),
         ])
@@ -612,6 +646,43 @@ mod tests {
         let back = ServiceReport::from_json_str(&r.to_json_string()).unwrap();
         assert_eq!(back.engines, r.engines);
         assert!(r.format_summary().contains("engines=cached,cached,toom"));
+    }
+
+    #[test]
+    fn json_bucket_edges_match_prometheus_le_labels_exactly() {
+        let m = Metrics::default();
+        // Samples planted exactly on edges exercise the exclusive-upper
+        // convention end to end.
+        m.record_completed(OpKind::Encaps, 1_000, 999);
+        let r = m.snapshot(1, 4, 0);
+        let json = r.to_json_value();
+        let edges = json
+            .get("bucket_bounds_ns")
+            .and_then(Value::as_array)
+            .expect("bucket_bounds_ns array");
+        assert_eq!(edges.len(), BUCKET_COUNT);
+        for (i, edge) in edges.iter().enumerate() {
+            let serialized = match edge {
+                Value::Int(v) => v.to_string(),
+                Value::Str(s) => s.clone(),
+                other => panic!("edge {i} has unexpected type: {other:?}"),
+            };
+            assert_eq!(
+                serialized,
+                bucket_edge_label(i),
+                "JSON edge {i} must serialize identically to the Prometheus le label"
+            );
+            if i < BUCKET_COUNT - 1 {
+                assert_eq!(serialized, BUCKET_BOUNDS_NS[i].to_string());
+            } else {
+                assert_eq!(serialized, "+Inf", "overflow edge is +Inf, never a clamped integer");
+            }
+        }
+        // The u64::MAX bound must never leak into JSON as a number.
+        let text = r.to_json_string();
+        assert!(!text.contains(&i64::MAX.to_string()), "clamped i64::MAX edge leaked");
+        assert!(!text.contains(&u64::MAX.to_string()), "u64::MAX edge leaked");
+        assert!(text.contains("\"+Inf\""));
     }
 
     #[test]

@@ -305,6 +305,11 @@ impl KemService {
     #[must_use]
     pub fn spawn(config: &ServiceConfig) -> Self {
         assert!(config.workers > 0, "service needs at least one worker");
+        // Production observability posture: arm the flight recorder
+        // (opt out with SABER_FLIGHT=0) and install the crash-dump
+        // panic hook — both idempotent, both process-wide.
+        crate::obs::arm_flight_recorder();
+        crate::obs::install_panic_hook();
         let inner = Arc::new(Inner {
             queue: BoundedQueue::new(config.queue_capacity),
             metrics: Metrics::default(),
@@ -588,7 +593,10 @@ fn worker_loop(inner: &Inner) {
             Ok(response) => {
                 let exec_ns =
                     u64::try_from(dequeued.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                if saber_trace::enabled() {
+                // Record job spans when a capture session is live OR
+                // the flight recorder is armed — span_at routes to
+                // whichever sinks are active.
+                if saber_trace::enabled() || saber_trace::flight::enabled() {
                     let name = op.map_or("job", OpKind::label);
                     saber_trace::span_at(
                         "service",
@@ -615,6 +623,10 @@ fn worker_loop(inner: &Inner) {
                 // the worker calibrated to), fail only this job.
                 shard = kind.build();
                 inner.metrics.record_failed_panic();
+                // The panic hook already dumped at panic time; this
+                // extra dump is the *recovery-site* context (post-
+                // rebuild), emitted only when a dump file is requested.
+                let _ = saber_trace::flight::dump_if_armed("worker-fault");
                 slot.fill(Err(JobError::WorkerPanicked {
                     message: panic_message(payload),
                 }));

@@ -14,6 +14,12 @@
 //! 3. **Drained-buffer zeroization** — decaps jobs drained *around* the
 //!    mid-batch panics still wipe their boxed [`KemSecretKey`] buffers
 //!    (the `secret.kem_sk_zeroized` trace counter).
+//! 4. **Crash dumps exactly once per panic** — the process-wide panic
+//!    hook installed by [`KemService::spawn`] flushes the flight
+//!    recorder and bumps the `panic.dump` counter once per contained
+//!    worker panic: both [`saber_service::obs::panic_dump_count`] and
+//!    [`saber_trace::flight::dump_count`] advance by exactly
+//!    `PANIC_JOBS`.
 //!
 //! Single `#[test]` in its own integration binary: the trace capture
 //! session is process-global and must own every counter it asserts on.
@@ -40,6 +46,8 @@ fn mid_batch_panics_are_contained_counted_once_and_leak_nothing() {
     assert_eq!(decaps(&sk, &ct, backend.as_mut()), ss_expected);
 
     let session = saber_trace::start();
+    let panic_dumps_before = saber_service::obs::panic_dump_count();
+    let flight_dumps_before = saber_trace::flight::dump_count();
     let report = {
         let service = KemService::spawn(&ServiceConfig {
             workers: WORKERS,
@@ -160,6 +168,36 @@ fn mid_batch_panics_are_contained_counted_once_and_leak_nothing() {
         wiped >= (DECAPS_JOBS + 2) as i64,
         "expected at least {} KemSecretKey wipes, saw {wiped}",
         DECAPS_JOBS + 2
+    );
+
+    // Crash dumps exactly once per contained panic: spawn installed the
+    // process-wide hook, each planted fault fired it once (inside the
+    // worker's catch_unwind), and it flushed the flight ring each time.
+    assert_eq!(
+        saber_service::obs::panic_dump_count() - panic_dumps_before,
+        PANIC_JOBS as u64,
+        "panic hook must dump exactly once per contained worker panic"
+    );
+    let flight_dumps = saber_trace::flight::dump_count() - flight_dumps_before;
+    if std::env::var("SABER_FLIGHT_DUMP").is_ok_and(|v| !v.is_empty()) {
+        // The env trigger arms the *worker-fault recovery site* too, so
+        // each panic produces the hook dump plus one recovery dump.
+        assert!(
+            flight_dumps >= PANIC_JOBS as u64,
+            "panic dumps lost under SABER_FLIGHT_DUMP: {flight_dumps}"
+        );
+    } else {
+        assert_eq!(
+            flight_dumps,
+            PANIC_JOBS as u64,
+            "each panic dump must flush the flight recorder exactly once"
+        );
+    }
+    // And the dumps were metered into the capture session too.
+    assert_eq!(
+        trace.counter_total("panic.dump"),
+        PANIC_JOBS as i64,
+        "panic.dump counter mirrors the hook invocations"
     );
 }
 

@@ -230,6 +230,32 @@ impl SharedBus {
         self.reads.is_empty() && self.writes.is_empty()
     }
 
+    /// Read requests currently latched in the queue registers (the
+    /// probe's `bus.read_reqs` wire).
+    #[must_use]
+    pub fn pending_reads(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Write requests currently latched in the queue registers.
+    #[must_use]
+    pub fn pending_writes(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Read grants latched but not yet consumed by their requesters.
+    #[must_use]
+    pub fn pending_grants(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// Every raised signal flag as `(name, cycle raised)`, in name
+    /// order — the probe turns each into a one-bit waveform.
+    #[must_use]
+    pub fn raised_signals(&self) -> Vec<(&str, u64)> {
+        self.signals.iter().map(|(k, &v)| (k.as_str(), v)).collect()
+    }
+
     /// One arbitration cycle (called by [`BusArbiter`] at cycle `now`):
     /// grants at most one read and one write among the requests stamped
     /// strictly before `now`, then clocks the BRAM.

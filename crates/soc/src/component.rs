@@ -96,6 +96,16 @@ pub trait Component {
     fn output(&self) -> Option<Vec<u8>> {
         None
     }
+
+    /// A small machine-state code for the waveform probe's `state` wire
+    /// (8 bits are recorded): phase indices for scenario components,
+    /// sponge states for Keccak, the program counter for the
+    /// coprocessor. The convention is `0` = done/idle, non-zero = the
+    /// component-specific phase. The default reports a constant 1
+    /// (running) — components with internal phases override it.
+    fn state_code(&self) -> u64 {
+        1
+    }
 }
 
 /// Adapter lifting any [`saber_hw::Clocked`] primitive (BRAM, DSP48,
@@ -191,5 +201,10 @@ impl Component for ClockedComponent<'_> {
             stall_cycles: 0,
             done_at: self.done_at,
         }
+    }
+
+    fn state_code(&self) -> u64 {
+        // Remaining edges, saturated to the probe's 8-bit state wire.
+        self.edges_left.min(0xff)
     }
 }

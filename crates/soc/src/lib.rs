@@ -24,6 +24,11 @@
 //!   shrinks any divergence to a minimal "swap these two components on
 //!   this one cycle" reproducer. The planted [`SocMutant`]s prove the
 //!   fuzzer catches real schedule races.
+//! * [`crate::probe`] attaches a logic-analyzer-style waveform probe to
+//!   a run ([`Soc::run_with_probe`] / [`run_scenario_probed`]): per-tick
+//!   busy/state/counter wires plus bus request/grant/contention signals,
+//!   exported as a deterministic IEEE-1364 VCD document alongside
+//!   per-component cycle timelines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +37,7 @@ pub mod bus;
 pub mod component;
 pub mod fuzz;
 pub mod models;
+pub mod probe;
 pub mod scenario;
 pub mod scheduler;
 
@@ -42,5 +48,6 @@ pub use models::{
     CoprocComponent, DspPackedComponent, EngineComponent, LightweightComponent, SpongeComponent,
     SpongeEvent, SpongeMachine,
 };
-pub use scenario::{run_scenario, ScenarioConfig, ScenarioOutcome};
+pub use probe::{SocProbe, SocTrace};
+pub use scenario::{run_scenario, run_scenario_probed, ScenarioConfig, ScenarioOutcome};
 pub use scheduler::{Fingerprint, OrderPolicy, RunSummary, Soc};

@@ -137,6 +137,18 @@ impl SpongeMachine {
         self.state == SpongeState::Done
     }
 
+    /// The sponge's machine state for the waveform probe: 1 = absorb,
+    /// 2 = permute, 3 = squeeze, 0 = done.
+    #[must_use]
+    pub fn state_code(&self) -> u64 {
+        match self.state {
+            SpongeState::Absorb => 1,
+            SpongeState::Permute => 2,
+            SpongeState::Squeeze => 3,
+            SpongeState::Done => 0,
+        }
+    }
+
     /// The squeezed bytes so far (all `out_len` once done).
     #[must_use]
     pub fn output(&self) -> &[u8] {
@@ -269,6 +281,9 @@ impl Component for EngineComponent {
     fn output(&self) -> Option<Vec<u8>> {
         self.output.clone()
     }
+    fn state_code(&self) -> u64 {
+        u64::from(self.sim.is_some())
+    }
 }
 
 /// The HS-II DSP-packed multiplier as a component: one [`DspPackedSim`]
@@ -339,6 +354,9 @@ impl Component for DspPackedComponent {
     fn output(&self) -> Option<Vec<u8>> {
         self.output.clone()
     }
+    fn state_code(&self) -> u64 {
+        u64::from(self.sim.is_some())
+    }
 }
 
 /// The lightweight 4-MAC multiplier as a component: one
@@ -400,6 +418,9 @@ impl Component for LightweightComponent {
     fn output(&self) -> Option<Vec<u8>> {
         self.output.clone()
     }
+    fn state_code(&self) -> u64 {
+        u64::from(self.sim.is_some())
+    }
 }
 
 /// The Keccak core running a full sponge as a component: one
@@ -457,6 +478,9 @@ impl Component for SpongeComponent {
     }
     fn output(&self) -> Option<Vec<u8>> {
         Some(self.machine.output().to_vec())
+    }
+    fn state_code(&self) -> u64 {
+        self.machine.state_code()
     }
 }
 
@@ -552,5 +576,10 @@ impl Component for CoprocComponent<'_> {
             out.extend_from_slice(self.coproc.output(name).unwrap_or(&[]));
         }
         Some(out)
+    }
+    fn state_code(&self) -> u64 {
+        // The program counter: each waveform step shows which
+        // instruction is occupying the datapath.
+        (self.pc as u64).min(0xff)
     }
 }

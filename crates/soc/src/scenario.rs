@@ -33,6 +33,7 @@ use saber_testkit::Rng;
 use crate::bus::{BusArbiter, SharedBus, SocMutant};
 use crate::component::{Component, ComponentId, ComponentStats, IDLE};
 use crate::models::{words_to_le_bytes, SpongeEvent, SpongeMachine};
+use crate::probe::{SocProbe, SocTrace};
 use crate::scheduler::{Fingerprint, OrderPolicy, Soc};
 
 /// Shared-memory word address of the 32-byte XOF seed.
@@ -126,6 +127,26 @@ pub fn operands(seed: u64) -> ([u8; 32], SecretPoly) {
 /// same-cycle order deviations (the shrinker's raw material).
 #[must_use]
 pub fn run_scenario(cfg: &ScenarioConfig) -> (ScenarioOutcome, Vec<(u64, Vec<ComponentId>)>) {
+    let (outcome, deviations, _) = run_scenario_inner(cfg, None);
+    (outcome, deviations)
+}
+
+/// [`run_scenario`], with a waveform probe attached: additionally
+/// returns the [`SocTrace`] (deterministic VCD document + per-component
+/// cycle timelines) of the run.
+#[must_use]
+pub fn run_scenario_probed(
+    cfg: &ScenarioConfig,
+) -> (ScenarioOutcome, Vec<(u64, Vec<ComponentId>)>, SocTrace) {
+    let mut probe = SocProbe::new();
+    let (outcome, deviations, _) = run_scenario_inner(cfg, Some(&mut probe));
+    (outcome, deviations, probe.into_trace())
+}
+
+fn run_scenario_inner(
+    cfg: &ScenarioConfig,
+    probe: Option<&mut SocProbe>,
+) -> (ScenarioOutcome, Vec<(u64, Vec<ComponentId>)>, ()) {
     let (seed_bytes, secret) = operands(cfg.seed);
     let seed_words: Vec<u64> = seed_bytes
         .chunks(8)
@@ -149,7 +170,10 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> (ScenarioOutcome, Vec<(u64, Vec<Com
     ));
 
     // Generous watchdog: the 2:1 run finishes well under 2 000 cycles.
-    let summary = soc.run(20_000);
+    let summary = match probe {
+        Some(p) => soc.run_with_probe(20_000, p),
+        None => soc.run(20_000),
+    };
     let fingerprint = soc.fingerprint(&summary);
     let product_bytes = fingerprint.components[MULT_ID.0]
         .2
@@ -166,7 +190,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> (ScenarioOutcome, Vec<(u64, Vec<Com
         fingerprint,
     };
     let deviations = soc.deviations().to_vec();
-    (outcome, deviations)
+    (outcome, deviations, ())
 }
 
 /// DMA engine: seed fetch → SHAKE-128 on the core → streamed writes →
@@ -291,6 +315,14 @@ impl Component for KeccakXofDma {
     }
     fn output(&self) -> Option<Vec<u8>> {
         self.output.clone()
+    }
+    fn state_code(&self) -> u64 {
+        match &self.phase {
+            XofPhase::Fetch { .. } => 0x10,
+            XofPhase::Sponge { machine, .. } => 0x20 | machine.state_code(),
+            XofPhase::WaitAcks { .. } => 0x30,
+            XofPhase::Done => 0,
+        }
     }
 }
 
@@ -484,5 +516,16 @@ impl Component for MatVecMultiplier {
     }
     fn output(&self) -> Option<Vec<u8>> {
         self.output.clone()
+    }
+    fn state_code(&self) -> u64 {
+        match &self.phase {
+            MultPhase::LoadSecret { .. } => 1,
+            MultPhase::WaitXof => 2,
+            MultPhase::LoadPublic { .. } => 3,
+            MultPhase::Compute { .. } => 4,
+            MultPhase::Drain { .. } => 5,
+            MultPhase::FinalRegs { .. } => 6,
+            MultPhase::Done => 0,
+        }
     }
 }

@@ -39,6 +39,7 @@ use saber_trace::clock::Clock;
 
 use crate::bus::{BusStats, SharedBus};
 use crate::component::{Component, ComponentId, ComponentStats, IDLE};
+use crate::probe::SocProbe;
 
 /// Same-cycle service-order policy.
 #[derive(Debug, Clone)]
@@ -182,7 +183,21 @@ impl<'a> Soc<'a> {
 
     /// Runs to quiescence or the watchdog `limit` (in base cycles).
     pub fn run(&mut self, limit: u64) -> RunSummary {
+        self.run_inner(limit, None)
+    }
+
+    /// [`run`](Self::run), with a [`SocProbe`] recording per-tick
+    /// signals (component busy/state/stats deltas, bus queue depths,
+    /// contention, latched flags) for VCD export and cycle timelines.
+    pub fn run_with_probe(&mut self, limit: u64, probe: &mut SocProbe) -> RunSummary {
+        self.run_inner(limit, Some(probe))
+    }
+
+    fn run_inner(&mut self, limit: u64, mut probe: Option<&mut SocProbe>) -> RunSummary {
         self.deviations.clear();
+        if let Some(p) = probe.as_deref_mut() {
+            p.begin(&self.components);
+        }
         let mut heap: BinaryHeap<Reverse<(u64, ComponentId, usize)>> = self
             .components
             .iter()
@@ -216,8 +231,16 @@ impl<'a> Soc<'a> {
             makespan = t + 1;
             self.order_batch(t, &mut batch);
             for &(id, idx) in batch.iter() {
+                let before = if probe.is_some() {
+                    self.components[idx].stats()
+                } else {
+                    ComponentStats::default()
+                };
                 let next = self.components[idx].tick(t, &mut self.bus);
                 events += 1;
+                if let Some(p) = probe.as_deref_mut() {
+                    p.component_ticked(t, idx, self.components[idx].as_ref(), before, next == IDLE);
+                }
                 if next == IDLE {
                     if !self.components[idx].is_daemon() {
                         live_non_daemons -= 1;
@@ -227,10 +250,16 @@ impl<'a> Soc<'a> {
                     heap.push(Reverse((next, id, idx)));
                 }
             }
+            if let Some(p) = probe.as_deref_mut() {
+                p.cycle_end(t, &self.bus, live_non_daemons);
+            }
             // Quiescence: only daemons left and no bus traffic pending.
             if live_non_daemons == 0 && self.bus.quiescent() {
                 break;
             }
+        }
+        if let Some(p) = probe {
+            p.run_finished(makespan);
         }
         RunSummary {
             makespan,

@@ -3,10 +3,12 @@
 //! `ServiceReport` snapshots of `saber-service`.
 //!
 //! The workspace is offline (no `serde`), and those schemas need only
-//! objects, arrays, strings, integers and booleans. Objects preserve
-//! insertion order so generated files diff cleanly. Floats are rejected
-//! by design: every quantity the schemas carry (coefficients, counters,
-//! nanosecond totals) is exact in `i64`.
+//! objects, arrays, strings, numbers and booleans. Objects preserve
+//! insertion order so generated files diff cleanly. Integers stay exact
+//! in `i64`; a number with a fraction or exponent parses as
+//! [`Value::Float`] (the `BENCH_*.json` reports carry measured
+//! `ns_per_*` rates), written back via Rust's shortest round-trip
+//! `f64` formatting.
 
 use std::fmt;
 
@@ -17,8 +19,10 @@ pub enum Value {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// An integer (the supported schemas use no floats).
+    /// An integer (exact, no fraction or exponent in the text).
     Int(i64),
+    /// A non-integral number (bench-report rates and ratios).
+    Float(f64),
     /// A string.
     Str(String),
     /// An array.
@@ -51,6 +55,21 @@ impl Value {
     pub fn as_int(&self) -> Option<i64> {
         match self {
             Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, if this is a number of either kind.
+    #[must_use]
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => {
+                // Intentional precision loss for |i| > 2^53: callers use
+                // this for measured rates, not exact counters.
+                #[allow(clippy::cast_precision_loss)]
+                Some(*i as f64)
+            }
+            Value::Float(f) => Some(*f),
             _ => None,
         }
     }
@@ -273,16 +292,46 @@ impl<'a> Parser<'a> {
         while self.peek().is_some_and(|b| b.is_ascii_digit()) {
             self.pos += 1;
         }
-        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
-            return self.error("floats are not part of the schema");
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return self.error("expected digit after '.'");
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return self.error("expected digit in exponent");
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
-        text.parse()
-            .map(Value::Int)
-            .map_err(|_| ParseError {
+        if is_float {
+            text.parse()
+                .ok()
+                .filter(|f: &f64| f.is_finite())
+                .map(Value::Float)
+                .ok_or_else(|| ParseError {
+                    offset: start,
+                    message: format!("bad number {text:?}"),
+                })
+        } else {
+            text.parse().map(Value::Int).map_err(|_| ParseError {
                 offset: start,
                 message: format!("bad integer {text:?}"),
             })
+        }
     }
 }
 
@@ -327,6 +376,12 @@ fn write_value(out: &mut String, value: &Value, indent: usize) {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) if f.is_finite() => {
+            // `{:?}` is Rust's shortest round-trip form and always keeps
+            // a '.' or exponent, so the value re-parses as Float.
+            out.push_str(&format!("{f:?}"));
+        }
+        Value::Float(_) => out.push_str("null"),
         Value::Str(s) => write_string(out, s),
         Value::Array(items) if items.is_empty() => out.push_str("[]"),
         Value::Array(items) => {
@@ -412,8 +467,24 @@ mod tests {
         let err = parse("{\"a\": }").unwrap_err();
         assert_eq!(err.offset, 6);
         assert!(parse("[1, 2").is_err());
-        assert!(parse("1.5").is_err(), "floats are rejected by design");
+        assert!(parse("1.").is_err(), "a bare trailing dot is not a number");
+        assert!(parse("1e").is_err(), "an empty exponent is not a number");
         assert!(parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn floats_roundtrip_shortest_form() {
+        assert_eq!(parse("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(parse("-2.25e3").unwrap(), Value::Float(-2250.0));
+        assert_eq!(parse("24498.0").unwrap(), Value::Float(24498.0));
+        // Integers without a fraction stay exact Ints.
+        assert_eq!(parse("24498").unwrap(), Value::Int(24498));
+        let doc = Value::Array(vec![Value::Float(0.1), Value::Float(1e300), Value::Int(7)]);
+        assert_eq!(parse(&write(&doc)).unwrap(), doc);
+        assert!(write(&Value::Float(24498.0)).contains("24498.0"), "floats keep their dot");
+        assert_eq!(Value::Float(1.5).as_number(), Some(1.5));
+        assert_eq!(Value::Int(3).as_number(), Some(3.0));
+        assert_eq!(Value::Str("x".into()).as_number(), None);
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //!   `saber_testkit::json` codec into a file `chrome://tracing` or
 //!   Perfetto opens directly, with a schema validator CI runs on the
 //!   `trace_profile` example's output.
+//! - **VCD waveform export** ([`vcd::VcdWriter`], [`vcd::parse`]): an
+//!   IEEE-1364 Value Change Dump writer for the `saber-soc` probe, so
+//!   bus grants and component occupancy open in GTKWave; deterministic
+//!   output makes golden waveforms drift-checkable.
+//! - **Flight recorder** ([`flight`]): an always-on, fixed-capacity,
+//!   thread-local ring of recent probes, dumped on panic or worker
+//!   fault — the post-mortem layer the exclusive capture session can't
+//!   be (it owns a global window and grows without bound).
 //!
 //! # Example
 //!
@@ -53,7 +61,9 @@
 pub mod chrome;
 pub mod clock;
 pub mod cycle;
+pub mod flight;
 pub mod span;
+pub mod vcd;
 
 pub use clock::{Clock, FakeClock, MonotonicClock};
 pub use cycle::{CyclePhase, CycleTimeline};

@@ -19,6 +19,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+use crate::flight::{self, FlightKind};
+
 /// Whether a capture session is currently active.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -134,6 +136,10 @@ struct LiveSpan {
     name: &'static str,
     start_ns: u64,
     depth: u32,
+    /// Whether a capture session was active at open time (a flight-only
+    /// span must not push into the session buffer — it would grow
+    /// unbounded in production where no session ever clears it).
+    to_session: bool,
 }
 
 impl Drop for SpanGuard {
@@ -141,6 +147,13 @@ impl Drop for SpanGuard {
         let Some(live) = self.live.take() else { return };
         let end_ns = now_ns();
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let dur_ns = end_ns.saturating_sub(live.start_ns);
+        if flight::enabled() {
+            flight::record(live.category, live.name, end_ns, FlightKind::Span { dur_ns });
+        }
+        if !live.to_session {
+            return;
+        }
         // Record even if the session ended mid-span: the buffer is
         // cleared at the *start* of the next session, so a straggler
         // span never leaks into an unrelated capture.
@@ -151,7 +164,7 @@ impl Drop for SpanGuard {
             depth: live.depth,
             kind: EventKind::Span {
                 start_ns: live.start_ns,
-                dur_ns: end_ns.saturating_sub(live.start_ns),
+                dur_ns,
             },
         });
     }
@@ -174,7 +187,8 @@ impl Drop for SpanGuard {
 /// ```
 #[inline]
 pub fn span(category: &'static str, name: &'static str) -> SpanGuard {
-    if !enabled() {
+    let to_session = enabled();
+    if !to_session && !flight::enabled() {
         return SpanGuard { live: None };
     }
     let depth = DEPTH.with(|d| {
@@ -188,6 +202,7 @@ pub fn span(category: &'static str, name: &'static str) -> SpanGuard {
             name,
             start_ns: now_ns(),
             depth,
+            to_session,
         }),
     }
 }
@@ -197,6 +212,14 @@ pub fn span(category: &'static str, name: &'static str) -> SpanGuard {
 /// queue-wait between the submitting and the executing thread.
 #[inline]
 pub fn span_at(category: &'static str, name: &'static str, start_ns: u64, dur_ns: u64) {
+    if flight::enabled() {
+        flight::record(
+            category,
+            name,
+            start_ns.saturating_add(dur_ns),
+            FlightKind::Span { dur_ns },
+        );
+    }
     if !enabled() {
         return;
     }
@@ -212,7 +235,16 @@ pub fn span_at(category: &'static str, name: &'static str, start_ns: u64, dur_ns
 /// Records a counter delta. Disabled-path cost: one relaxed atomic load.
 #[inline]
 pub fn counter(category: &'static str, name: &'static str, value: i64) {
-    if !enabled() {
+    let to_session = enabled();
+    let to_flight = flight::enabled();
+    if !to_session && !to_flight {
+        return;
+    }
+    let ts_ns = now_ns();
+    if to_flight {
+        flight::record(category, name, ts_ns, FlightKind::Counter { value });
+    }
+    if !to_session {
         return;
     }
     lock_events().push(TraceEvent {
@@ -220,17 +252,23 @@ pub fn counter(category: &'static str, name: &'static str, value: i64) {
         name,
         tid: tid(),
         depth: DEPTH.with(Cell::get),
-        kind: EventKind::Counter {
-            ts_ns: now_ns(),
-            value,
-        },
+        kind: EventKind::Counter { ts_ns, value },
     });
 }
 
 /// Records a zero-duration marker.
 #[inline]
 pub fn instant_event(category: &'static str, name: &'static str) {
-    if !enabled() {
+    let to_session = enabled();
+    let to_flight = flight::enabled();
+    if !to_session && !to_flight {
+        return;
+    }
+    let ts_ns = now_ns();
+    if to_flight {
+        flight::record(category, name, ts_ns, FlightKind::Instant);
+    }
+    if !to_session {
         return;
     }
     lock_events().push(TraceEvent {
@@ -238,7 +276,7 @@ pub fn instant_event(category: &'static str, name: &'static str) {
         name,
         tid: tid(),
         depth: DEPTH.with(Cell::get),
-        kind: EventKind::Instant { ts_ns: now_ns() },
+        kind: EventKind::Instant { ts_ns },
     });
 }
 

@@ -54,6 +54,15 @@ pub enum Command {
         /// Which program (`keygen` / `encaps`).
         op: String,
     },
+    /// Dump the golden SoC co-simulation scenario as an IEEE-1364 VCD
+    /// waveform (open in GTKWave).
+    Vcd {
+        /// Multiplier clock-divider stride (1 = same clock as the XOF,
+        /// 2 = half rate).
+        stride: u64,
+        /// Output file; `None` streams the document to stdout.
+        out: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -187,6 +196,21 @@ pub fn parse(args: &[String]) -> Result<Command, ParseCommandError> {
         }
         Some("coprocessor") => Ok(Command::Coprocessor),
         Some("power") => Ok(Command::Power),
+        Some("vcd") => {
+            let stride = match flag_value(args, "--stride").unwrap_or("1") {
+                "1" => 1,
+                "2" => 2,
+                other => {
+                    return Err(ParseCommandError(format!(
+                        "unknown stride `{other}`; expected 1 or 2"
+                    )))
+                }
+            };
+            Ok(Command::Vcd {
+                stride,
+                out: flag_value(args, "--out").map(String::from),
+            })
+        }
         Some(other) => Err(ParseCommandError(format!(
             "unknown command `{other}` (try `saber-sim help`)"
         ))),
@@ -205,7 +229,8 @@ pub fn usage() -> String {
          \x20 saber-sim coprocessor                    full-coprocessor projection (§5.2)\n\
          \x20 saber-sim kem-program [--params <P>] [--arch <ARCH>]  KEM as coprocessor programs\n\
          \x20 saber-sim disasm [--op keygen|encaps]    disassemble a coprocessor program\n\
-         \x20 saber-sim power                          LW power breakdown (§5)\n\n\
+         \x20 saber-sim power                          LW power breakdown (§5)\n\
+         \x20 saber-sim vcd [--stride 1|2] [--out <FILE>]  golden co-sim scenario as a VCD waveform\n\n\
          ARCH: {}\n\
          P:    lightsaber | saber | firesaber\n",
         architecture_keys().join(" | ")
@@ -255,6 +280,25 @@ pub fn run(command: &Command, out: &mut dyn fmt::Write) -> fmt::Result {
                 100.0 * power.io_share(),
                 power.logic_w
             )
+        }
+        Command::Vcd { stride, out: path } => {
+            let cfg = saber_soc::ScenarioConfig::reference(0xC0DE_CAB1, *stride);
+            let (outcome, _, trace) = saber_soc::run_scenario_probed(&cfg);
+            match path {
+                Some(path) => {
+                    std::fs::write(path, &trace.vcd).expect("write VCD file");
+                    writeln!(
+                        out,
+                        "wrote {path}: golden co-sim scenario at stride {stride} \
+                         (makespan {} cycles, {} scheduler events, {} signal lines) — \
+                         open in GTKWave",
+                        outcome.makespan,
+                        trace.events,
+                        trace.vcd.lines().count()
+                    )
+                }
+                None => write!(out, "{}", trace.vcd),
+            }
         }
         Command::Disasm { op } => {
             let program = if op == "keygen" {
@@ -379,6 +423,46 @@ mod tests {
                 arch: "hs1-256".into()
             }
         );
+    }
+
+    #[test]
+    fn parses_vcd_command() {
+        assert_eq!(
+            parse(&args(&["vcd"])).unwrap(),
+            Command::Vcd {
+                stride: 1,
+                out: None
+            }
+        );
+        assert_eq!(
+            parse(&args(&["vcd", "--stride", "2", "--out", "wave.vcd"])).unwrap(),
+            Command::Vcd {
+                stride: 2,
+                out: Some("wave.vcd".into())
+            }
+        );
+        assert!(parse(&args(&["vcd", "--stride", "3"]))
+            .unwrap_err()
+            .to_string()
+            .contains("unknown stride"));
+    }
+
+    #[test]
+    fn run_vcd_streams_a_waveform_document() {
+        let mut out = String::new();
+        run(
+            &Command::Vcd {
+                stride: 1,
+                out: None,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.starts_with("$timescale"), "VCD header first");
+        assert!(out.contains("$scope module soc $end"), "{}", &out[..200]);
+        assert!(out.contains("c2_hs1_512_matvec"), "component scope present");
+        assert!(out.contains("#394"), "golden 1:1 run reaches cycle 394");
+        assert!(out.ends_with('\n'));
     }
 
     #[test]

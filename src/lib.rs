@@ -12,12 +12,17 @@
 //! * [`hw`] — cycle-accurate FPGA primitive models and area/power models
 //! * [`arch`] — the paper's multiplier architectures (the contribution)
 //! * [`coproc`] — the instruction-set coprocessor the multipliers plug into
-//! * [`trace`] — structured tracing/profiling with Chrome-trace export
+//! * [`trace`] — structured tracing/profiling with Chrome-trace and
+//!   VCD export, plus the crash-safe flight recorder
 //! * [`service`] — the concurrent KEM service layer
+//! * [`soc`] — the discrete-event full-SoC co-simulation scheduler
+//! * [`obs`] — cross-crate observability glue (SoC fingerprint →
+//!   metrics-snapshot section)
 
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod obs;
 
 pub use saber_coproc as coproc;
 pub use saber_core as arch;
@@ -26,4 +31,5 @@ pub use saber_keccak as keccak;
 pub use saber_kem as kem;
 pub use saber_ring as ring;
 pub use saber_service as service;
+pub use saber_soc as soc;
 pub use saber_trace as trace;

@@ -8,7 +8,7 @@
 #
 # Stage names: lint build test fuzz swar_gate fault_gate
 # fast_engine_gate ct_engine_gate timing_gate soc_gate service trace
-# bench
+# obs_gate bench_reports bench
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -160,6 +160,38 @@ if want trace; then
 
     echo "==> trace: capture feature compiled out still builds"
     cargo build -q -p saber-trace --no-default-features
+fi
+
+# Observability gate. Four checks: (1) the trace_overhead bench's
+# flight-recorder threshold — the probe cost with the recorder OFF must
+# stay under SABER_FLIGHT_MAX_DISABLED_NS (default 10 ns; measured
+# ~4 ns) on top of the 25 ns trace gate it already enforces; (2) the
+# SoC VCD consistency battery — probe non-perturbation, busy/stall
+# wires equal to scheduler totals at both clock ratios, Chrome-vs-VCD
+# cross-format agreement, and the byte-frozen golden 1:1 waveform
+# (regenerate deliberately with SABER_BLESS=1); (3) the MetricsSnapshot
+# JSON round-trip + schema-version refusal; (4) the Prometheus text
+# exposition lint (metric names, single TYPE per family, cumulative
+# histograms ending at le="+Inf" == _count).
+if want obs_gate; then
+    echo "==> obs gate: flight-recorder disabled-path threshold (release)"
+    cargo bench -q -p saber-bench --bench trace_overhead
+
+    echo "==> obs gate: VCD golden waveform + cross-format consistency (release)"
+    cargo test -q --release -p saber-soc --test vcd_consistency
+
+    echo "==> obs gate: metrics snapshot round-trip + Prometheus lint"
+    cargo test -q -p saber-service snapshot::
+    cargo test -q -p saber snapshot
+fi
+
+# Bench-report hygiene: every committed BENCH_*.json artifact must
+# parse with the in-tree codec, carry its writer's schema field-by-
+# field, and keep the golden cycle totals — stale or malformed reports
+# fail here instead of silently poisoning later comparisons.
+if want bench_reports; then
+    echo "==> bench reports: schema validation of committed BENCH_*.json"
+    cargo test -q -p saber-bench --test bench_reports_schema
 fi
 
 if want bench; then
