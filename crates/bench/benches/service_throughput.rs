@@ -11,22 +11,34 @@
 //!   of the identical plan.
 //!
 //! Scaling numbers are only honest when the host has as many cores as
-//! the pool has workers. Each entry therefore carries a **basis** tag:
-//! `measured` when `available_parallelism ≥ workers`, otherwise
-//! `projected` from the calibrated roofline
-//! `work_ns / workers + dispatch_overhead_ns` — the same modeling
-//! convention as the `coprocessor_projection` bench. Both numbers are
-//! always recorded in `BENCH_service.json`.
+//! the pool has workers. Each entry therefore records the host's
+//! `available_parallelism` **at its own measurement time** and carries
+//! a **basis** tag: `measured` when the cores were there and the
+//! measurement agrees with the model, `projected` from the calibrated
+//! roofline `work_ns / workers + dispatch_overhead_ns` when
+//! core-starved (the same modeling convention as the
+//! `coprocessor_projection` bench), and `degraded` when the host
+//! nominally had the cores but measured >2× the projection. Both
+//! numbers are always recorded in `BENCH_service.json`.
+//!
+//! The bench then runs an **open-loop overload soak**: Poisson and
+//! bursty heavy-tail arrival traces offered at ≥2× the 4-worker pool's
+//! measured closed-loop capacity, under both the reject and degrade
+//! overload policies, recording goodput, shed counts, and p50/p99
+//! queue wait into the report's `soak` section.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use saber_bench::tables::ServiceBenchReport;
+use saber_bench::tables::{ServiceBenchReport, SoakBenchEntry};
 use saber_kem::expand::{gen_matrix, gen_secret};
 use saber_kem::params::{ALL_PARAMS, SABER};
 use saber_ring::CachedSchoolbookMultiplier;
-use saber_service::loadgen::{build_plan, run_sequential, run_service, LoadPlan, LoadProfile};
-use saber_service::{KemService, ServiceConfig};
+use saber_service::loadgen::{
+    build_plan, run_open_loop, run_sequential, run_service, ArrivalProcess, LoadPlan,
+    LoadProfile, OpMix,
+};
+use saber_service::{KemService, OverloadPolicy, ServiceConfig};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 /// Jobs per closed-loop measurement burst.
@@ -90,7 +102,14 @@ fn bench_matvec(report: &mut ServiceBenchReport) {
                 overhead_ns = (measured_ns - work_ns).max(0.0);
             }
             let projected_ns = work_ns / workers as f64 + overhead_ns;
-            report.push(params.name, "matvec", workers as u64, measured_ns, projected_ns);
+            report.push(
+                params.name,
+                "matvec",
+                workers as u64,
+                host_parallelism() as u64,
+                measured_ns,
+                projected_ns,
+            );
         }
     }
 }
@@ -122,7 +141,71 @@ fn bench_kem_mixed(report: &mut ServiceBenchReport) {
             overhead_ns = (measured_ns - work_ns).max(0.0);
         }
         let projected_ns = work_ns / workers as f64 + overhead_ns;
-        report.push(SABER.name, "kem_mixed", workers as u64, measured_ns, projected_ns);
+        report.push(
+            SABER.name,
+            "kem_mixed",
+            workers as u64,
+            host_parallelism() as u64,
+            measured_ns,
+            projected_ns,
+        );
+    }
+}
+
+/// Overload multiple the soak offers relative to measured capacity.
+const OVERLOAD_X: f64 = 2.0;
+/// Jobs per soak trace.
+const SOAK_OPS: usize = 256;
+/// Worker count under soak.
+const SOAK_WORKERS: usize = 4;
+
+fn bench_soak(report: &mut ServiceBenchReport) {
+    // Measure the pool's closed-loop mat-vec capacity, then offer 2×
+    // that rate open-loop. Mat-vec-only keeps per-job cost uniform so
+    // "2× overload" means what it says.
+    let mut profile = LoadProfile::new(&SABER, 0x50AC, SOAK_OPS);
+    profile.mix = OpMix::matvec_only();
+    let plan = build_plan(&profile);
+
+    let service = KemService::spawn(&ServiceConfig {
+        workers: SOAK_WORKERS,
+        queue_capacity: 32,
+        ..ServiceConfig::default()
+    });
+    let closed_ns_per_op = measure_per_op(SOAK_OPS, 2, || {
+        let _ = std::hint::black_box(run_service(&plan, &service, 32).expect("load run"));
+    });
+    drop(service);
+    // Offered rate = OVERLOAD_X × capacity ⇒ mean gap = service time / OVERLOAD_X.
+    let mean_gap_ns = (closed_ns_per_op / OVERLOAD_X).max(1.0) as u64;
+
+    for process in [
+        ArrivalProcess::Poisson { mean_gap_ns },
+        ArrivalProcess::Bursty { mean_gap_ns },
+    ] {
+        for policy in [OverloadPolicy::Reject, OverloadPolicy::Degrade] {
+            let service = KemService::spawn(&ServiceConfig {
+                workers: SOAK_WORKERS,
+                queue_capacity: 32,
+                overload: policy,
+                ..ServiceConfig::default()
+            });
+            let outcome = run_open_loop(&plan, &service, process, 0x50AC_5EED)
+                .expect("soak run");
+            drop(service);
+            report.soak.push(SoakBenchEntry {
+                trace: process.label().into(),
+                policy: policy.label().into(),
+                workers: SOAK_WORKERS as u64,
+                overload_x: OVERLOAD_X,
+                offered_per_sec: outcome.offered_per_sec(),
+                goodput_per_sec: outcome.goodput_per_sec(),
+                shed: outcome.shed,
+                degraded_admissions: outcome.degraded_admissions,
+                p50_wait_ns: outcome.p50_wait_ns,
+                p99_wait_ns: outcome.p99_wait_ns,
+            });
+        }
     }
 }
 
@@ -135,6 +218,7 @@ fn main() {
     };
     bench_matvec(&mut report);
     bench_kem_mixed(&mut report);
+    bench_soak(&mut report);
 
     println!("{}", report.format_text());
     for params in &ALL_PARAMS {

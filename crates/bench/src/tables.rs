@@ -396,6 +396,11 @@ pub struct ServiceBenchEntry {
     pub op: String,
     /// Worker threads in the service pool.
     pub workers: u64,
+    /// `std::thread::available_parallelism()` on the measuring host,
+    /// recorded **per entry at measurement time** — a report assembled
+    /// across hosts (or a host whose visible cores change mid-run)
+    /// keeps each entry's basis honest.
+    pub host_parallelism: u64,
     /// Measured mean time per operation on *this* host, nanoseconds.
     pub measured_ns_per_op: f64,
     /// Modeled time per operation on a host with ≥ `workers` cores:
@@ -404,21 +409,27 @@ pub struct ServiceBenchEntry {
     /// is calibrated from the 1-worker service measurement.
     pub projected_ns_per_op: f64,
     /// Which number is authoritative for this entry: `"measured"` when
-    /// the host had at least `workers` cores (the measurement exercises
-    /// real parallelism), `"projected"` otherwise (the measurement is
-    /// core-starved and the roofline model is the honest estimate —
-    /// same convention as the `coprocessor_projection` bench).
+    /// the host had at least `workers` cores **and** the measurement is
+    /// consistent with the model (real parallelism was exercised);
+    /// `"projected"` when the host was core-starved (the roofline model
+    /// is the honest estimate — same convention as the
+    /// `coprocessor_projection` bench); `"degraded"` when the host
+    /// nominally had enough cores but the measurement exceeded the
+    /// projection by more than 2× — an oversubscribed/noisy host whose
+    /// number must not be published as clean scaling.
     pub basis: String,
 }
 
 impl ServiceBenchEntry {
-    /// The basis-selected time per operation.
+    /// The basis-selected time per operation. A `degraded` entry keeps
+    /// its measurement (that *is* what the host did — it just isn't a
+    /// scaling claim), so the degradation stays visible downstream.
     #[must_use]
     pub fn effective_ns_per_op(&self) -> f64 {
-        if self.basis == "measured" {
-            self.measured_ns_per_op
-        } else {
+        if self.basis == "projected" {
             self.projected_ns_per_op
+        } else {
+            self.measured_ns_per_op
         }
     }
 
@@ -446,33 +457,44 @@ impl ServiceBenchEntry {
 /// core-starved measurement as if it were scaling.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceBenchReport {
-    /// `std::thread::available_parallelism()` on the measuring host.
+    /// `std::thread::available_parallelism()` on the host that started
+    /// the bench run (summary convenience; each entry records its own).
     pub host_parallelism: u64,
     /// All recorded data points.
     pub entries: Vec<ServiceBenchEntry>,
+    /// Open-loop overload soak results (goodput + wait quantiles).
+    pub soak: Vec<SoakBenchEntry>,
 }
 
 impl ServiceBenchReport {
-    /// Records one data point, deriving the basis from the host's core
-    /// count: measured when `host_parallelism ≥ workers`, projected
-    /// otherwise.
+    /// Records one data point. `host_parallelism` is the core count
+    /// observed **when this entry was measured**; the basis derives
+    /// from it: `projected` when core-starved (`host_parallelism <
+    /// workers`), `degraded` when the host had the cores but the
+    /// measurement exceeds the projection by more than 2× (an
+    /// oversubscribed host masquerading as a scaling result), else
+    /// `measured`.
     pub fn push(
         &mut self,
         params: &str,
         op: &str,
         workers: u64,
+        host_parallelism: u64,
         measured_ns_per_op: f64,
         projected_ns_per_op: f64,
     ) {
-        let basis = if self.host_parallelism >= workers {
-            "measured"
-        } else {
+        let basis = if host_parallelism < workers {
             "projected"
+        } else if measured_ns_per_op > 2.0 * projected_ns_per_op {
+            "degraded"
+        } else {
+            "measured"
         };
         self.entries.push(ServiceBenchEntry {
             params: params.into(),
             op: op.into(),
             workers,
+            host_parallelism,
             measured_ns_per_op,
             projected_ns_per_op,
             basis: basis.into(),
@@ -513,11 +535,13 @@ impl ServiceBenchReport {
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"params\": \"{}\", \"op\": \"{}\", \"workers\": {}, \
+                 \"host_parallelism\": {}, \
                  \"measured_ns_per_op\": {:.1}, \"projected_ns_per_op\": {:.1}, \
                  \"basis\": \"{}\", \"ops_per_sec\": {:.2}}}{}\n",
                 e.params,
                 e.op,
                 e.workers,
+                e.host_parallelism,
                 e.measured_ns_per_op,
                 e.projected_ns_per_op,
                 e.basis,
@@ -541,6 +565,31 @@ impl ServiceBenchReport {
             })
             .collect();
         out.push_str(&lines.join(",\n"));
+        out.push_str("\n  ],\n  \"soak\": [\n");
+        let soak_lines: Vec<String> = self
+            .soak
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{\"trace\": \"{}\", \"policy\": \"{}\", \"workers\": {}, \
+                     \"overload_x\": {:.2}, \"offered_per_sec\": {:.2}, \
+                     \"goodput_per_sec\": {:.2}, \"shed\": {}, \
+                     \"degraded_admissions\": {}, \"p50_wait_ns\": {}, \
+                     \"p99_wait_ns\": {}}}",
+                    s.trace,
+                    s.policy,
+                    s.workers,
+                    s.overload_x,
+                    s.offered_per_sec,
+                    s.goodput_per_sec,
+                    s.shed,
+                    s.degraded_admissions,
+                    s.p50_wait_ns,
+                    s.p99_wait_ns
+                )
+            })
+            .collect();
+        out.push_str(&soak_lines.join(",\n"));
         out.push_str("\n  ]\n}\n");
         out
     }
@@ -550,21 +599,80 @@ impl ServiceBenchReport {
     pub fn format_text(&self) -> String {
         let mut out = format!("host parallelism: {} cores\n", self.host_parallelism);
         out.push_str(&format!(
-            "{:<12} {:<10} {:>7} {:>14} {:>14} {:<10} {:>9}\n",
-            "params", "op", "workers", "measured ns", "projected ns", "basis", "vs 1w"
+            "{:<12} {:<10} {:>7} {:>5} {:>14} {:>14} {:<10} {:>9}\n",
+            "params", "op", "workers", "cores", "measured ns", "projected ns", "basis", "vs 1w"
         ));
-        out.push_str(&format!("{}\n", "-".repeat(82)));
+        out.push_str(&format!("{}\n", "-".repeat(88)));
         for e in &self.entries {
             let speedup = self
                 .speedup_vs_single(&e.params, &e.op, e.workers)
                 .map_or_else(|| "-".into(), |s| format!("{s:.2}x"));
             out.push_str(&format!(
-                "{:<12} {:<10} {:>7} {:>14.0} {:>14.0} {:<10} {:>9}\n",
-                e.params, e.op, e.workers, e.measured_ns_per_op, e.projected_ns_per_op, e.basis, speedup
+                "{:<12} {:<10} {:>7} {:>5} {:>14.0} {:>14.0} {:<10} {:>9}\n",
+                e.params,
+                e.op,
+                e.workers,
+                e.host_parallelism,
+                e.measured_ns_per_op,
+                e.projected_ns_per_op,
+                e.basis,
+                speedup
             ));
+        }
+        if !self.soak.is_empty() {
+            out.push_str(&format!(
+                "\nsoak (open-loop overload)\n{:<8} {:<8} {:>7} {:>6} {:>12} {:>12} {:>6} {:>9} {:>12} {:>12}\n",
+                "trace", "policy", "workers", "over", "offered/s", "goodput/s", "shed",
+                "degraded", "p50 wait ns", "p99 wait ns"
+            ));
+            out.push_str(&format!("{}\n", "-".repeat(100)));
+            for s in &self.soak {
+                out.push_str(&format!(
+                    "{:<8} {:<8} {:>7} {:>5.1}x {:>12.1} {:>12.1} {:>6} {:>9} {:>12} {:>12}\n",
+                    s.trace,
+                    s.policy,
+                    s.workers,
+                    s.overload_x,
+                    s.offered_per_sec,
+                    s.goodput_per_sec,
+                    s.shed,
+                    s.degraded_admissions,
+                    s.p50_wait_ns,
+                    s.p99_wait_ns
+                ));
+            }
         }
         out
     }
+}
+
+/// One open-loop overload soak result: a seeded arrival trace offered
+/// at a multiple of the pool's measured capacity, under one overload
+/// policy — the honest "what does saturation cost" measurement the
+/// closed-loop scaling entries cannot make.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakBenchEntry {
+    /// Arrival process label (`poisson` / `bursty`).
+    pub trace: String,
+    /// Overload policy label (`reject` / `degrade`).
+    pub policy: String,
+    /// Worker threads in the pool under soak.
+    pub workers: u64,
+    /// Offered load as a multiple of measured closed-loop capacity
+    /// (≥ 2.0 for the committed report).
+    pub overload_x: f64,
+    /// Offered jobs per second of wall clock.
+    pub offered_per_sec: f64,
+    /// Completed jobs per second of wall clock.
+    pub goodput_per_sec: f64,
+    /// Jobs shed at submit time.
+    pub shed: u64,
+    /// Jobs admitted above the soft capacity (degrade policy only).
+    pub degraded_admissions: u64,
+    /// Median queue wait, nanoseconds.
+    pub p50_wait_ns: u64,
+    /// 99th-percentile queue wait, nanoseconds.
+    pub p99_wait_ns: u64,
 }
 
 /// One architecture's occupancy/stall summary, derived from the
@@ -990,9 +1098,9 @@ mod tests {
             ..ServiceBenchReport::default()
         };
         // work = 4000ns, overhead = 100ns → projected(N) = 4000/N + 100.
-        r.push("Saber", "matvec", 1, 4100.0, 4100.0);
-        r.push("Saber", "matvec", 2, 2150.0, 2100.0);
-        r.push("Saber", "matvec", 4, 4100.0, 1100.0);
+        r.push("Saber", "matvec", 1, 2, 4100.0, 4100.0);
+        r.push("Saber", "matvec", 2, 2, 2150.0, 2100.0);
+        r.push("Saber", "matvec", 4, 2, 4100.0, 1100.0);
         r
     }
 
@@ -1004,6 +1112,59 @@ mod tests {
         let four = r.entry("Saber", "matvec", 4).unwrap();
         assert_eq!(four.basis, "projected", "core-starved → projection");
         assert!((four.effective_ns_per_op() - 1100.0).abs() < 1e-9);
+        assert!(r.entries.iter().all(|e| e.host_parallelism == 2));
+    }
+
+    #[test]
+    fn service_report_degraded_basis_flags_oversubscribed_measurements() {
+        let mut r = ServiceBenchReport {
+            host_parallelism: 8,
+            ..ServiceBenchReport::default()
+        };
+        // Enough cores, but the measurement is >2× the projection: an
+        // oversubscribed host must not publish this as "measured".
+        r.push("Saber", "matvec", 1, 8, 4100.0, 4100.0);
+        r.push("Saber", "matvec", 4, 8, 4000.0, 1100.0);
+        // Within 2× of the projection stays measured.
+        r.push("Saber", "matvec", 2, 8, 2900.0, 2100.0);
+        let four = r.entry("Saber", "matvec", 4).unwrap();
+        assert_eq!(four.basis, "degraded");
+        assert!(
+            (four.effective_ns_per_op() - 4000.0).abs() < 1e-9,
+            "degraded keeps the (suspect) measurement visible"
+        );
+        assert_eq!(r.entry("Saber", "matvec", 2).unwrap().basis, "measured");
+        let json = r.to_json();
+        assert!(json.contains("\"basis\": \"degraded\""), "{json}");
+    }
+
+    #[test]
+    fn soak_entries_serialize_into_their_own_section() {
+        let mut r = sample_service_report();
+        r.soak.push(SoakBenchEntry {
+            trace: "poisson".into(),
+            policy: "reject".into(),
+            workers: 4,
+            overload_x: 2.0,
+            offered_per_sec: 1000.0,
+            goodput_per_sec: 480.5,
+            shed: 519,
+            degraded_admissions: 0,
+            p50_wait_ns: 4_096_000,
+            p99_wait_ns: 16_384_000,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"soak\": ["), "{json}");
+        assert!(json.contains("\"trace\": \"poisson\""));
+        assert!(json.contains("\"policy\": \"reject\""));
+        assert!(json.contains("\"overload_x\": 2.00"));
+        assert!(json.contains("\"goodput_per_sec\": 480.50"));
+        assert!(json.contains("\"p99_wait_ns\": 16384000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let text = r.format_text();
+        assert!(text.contains("soak (open-loop overload)"), "{text}");
+        assert!(text.contains("poisson"));
     }
 
     #[test]

@@ -8,15 +8,21 @@
 //! crate scales the same verified datapath across cores the way the
 //! ASIC design-space work replicates compute units: a fixed pool of
 //! worker threads, each owning its **own multiplier shard** (no lock,
-//! no sharing on the hot path), fed by a **bounded MPMC queue** whose
-//! backpressure policy is reject-with-error — a saturated service
-//! degrades into explicit [`SubmitError::QueueFull`] responses, never
-//! into unbounded buffering or blocked submitters.
+//! no sharing on the hot path), fed by **per-worker bounded deques with
+//! seeded work stealing** (or the original single MPMC queue via
+//! `SABER_SCHED=single`) whose backpressure policy is reject-with-error
+//! — a saturated service degrades into explicit
+//! [`SubmitError::QueueFull`] responses, never into unbounded buffering
+//! or blocked submitters (the `degrade` overload policy admits a
+//! metered burst past the soft capacity before rejecting).
 //!
 //! Everything is `std`-only (`std::thread` + `std::sync`) and fully
 //! offline, like the rest of the workspace.
 //!
-//! * [`queue`] — the bounded queue (backpressure + draining close);
+//! * [`queue`] — the single bounded MPMC queue (backpressure +
+//!   draining close) — the `SABER_SCHED=single` baseline;
+//! * [`steal`] — per-worker bounded deques with seeded work stealing,
+//!   the default dispatch;
 //! * [`service`] — the [`KemService`] pool: typed job handles, panic
 //!   containment, graceful shutdown;
 //! * [`metrics`] — atomic counters, fixed-bucket latency histograms,
@@ -56,10 +62,18 @@ pub mod obs;
 pub mod queue;
 pub mod service;
 pub mod snapshot;
+pub mod steal;
 
-pub use loadgen::{build_plan, run_sequential, run_service, LoadPlan, LoadProfile, OpMix, Transcript};
+pub use loadgen::{
+    arrival_gaps, build_plan, run_open_loop, run_sequential, run_service, ArrivalProcess,
+    LoadPlan, LoadProfile, OpMix, SoakOutcome, Transcript,
+};
 pub use metrics::{OpKind, ServiceReport};
-pub use service::{Gate, JobError, JobHandle, KemService, ServiceConfig, SubmitError};
+pub use service::{
+    Gate, JobError, JobHandle, KemService, OverloadPolicy, SchedulerKind, ServiceConfig,
+    SubmitError,
+};
+pub use steal::{StealTally, WorkStealQueue};
 pub use snapshot::{
     lint_prometheus, FlightStatus, MetricsSnapshot, SocComponentStats, SocSection,
 };

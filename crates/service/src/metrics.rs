@@ -166,6 +166,42 @@ impl HistogramSnapshot {
     pub fn mean_ns(&self) -> u64 {
         self.total_ns.checked_div(self.count).unwrap_or(0)
     }
+
+    /// An upper bound on the `q`-quantile latency in nanoseconds
+    /// (`q` in `[0, 1]`), resolved to bucket granularity: the edge of
+    /// the first bucket whose cumulative count reaches `ceil(q·count)`.
+    /// Samples landing in the overflow bucket report `max_ns` (the only
+    /// finite upper bound we hold for them). Returns 0 when empty.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count) with a floor of 1 sample.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                let bound = BUCKET_BOUNDS_NS[i];
+                return if bound == u64::MAX { self.max_ns } else { bound };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Accumulates another snapshot into this one (bucket-wise sums,
+    /// max of maxes) — used to aggregate per-op histograms into one
+    /// distribution, e.g. the soak's overall queue-wait quantiles.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
 }
 
 /// The service's full live-metrics registry. One instance per pool,
@@ -178,6 +214,10 @@ pub struct Metrics {
     failed: AtomicU64,
     worker_panics: AtomicU64,
     queue_high_water: AtomicU64,
+    steal_attempts: AtomicU64,
+    steal_hits: AtomicU64,
+    stolen_jobs: AtomicU64,
+    degraded: AtomicU64,
     ops: [LatencyHistogram; 4],
     queue_wait: [LatencyHistogram; 4],
     execute: [LatencyHistogram; 4],
@@ -198,6 +238,26 @@ impl Metrics {
     /// A submission was rejected by backpressure.
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A submission was admitted above the soft capacity under the
+    /// degrade overload policy.
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker ran `n` victim scans while looking for work to steal
+    /// (counted only when the queue was non-empty, so idle sleeps never
+    /// inflate the gauge).
+    pub fn record_steal_attempts(&self, n: u64) {
+        self.steal_attempts.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A steal succeeded, migrating `moved` jobs (the executed one plus
+    /// any appended to the thief's own deque).
+    pub fn record_steal_hit(&self, moved: u64) {
+        self.steal_hits.fetch_add(1, Ordering::Relaxed);
+        self.stolen_jobs.fetch_add(moved, Ordering::Relaxed);
     }
 
     /// A job completed successfully. The two halves of its life are
@@ -261,6 +321,10 @@ impl Metrics {
             failed: self.failed.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            steal_attempts: self.steal_attempts.load(Ordering::Relaxed),
+            steal_hits: self.steal_hits.load(Ordering::Relaxed),
+            stolen_jobs: self.stolen_jobs.load(Ordering::Relaxed),
+            degraded_admissions: self.degraded.load(Ordering::Relaxed),
             ops: OpKind::ALL
                 .into_iter()
                 .map(|op| (op, self.ops[op.index()].snapshot()))
@@ -300,6 +364,17 @@ pub struct ServiceReport {
     pub worker_panics: u64,
     /// Highest queue depth observed at submit time.
     pub queue_high_water: u64,
+    /// Victim scans run by workers looking for stealable work (only
+    /// counted while the queue was non-empty). Zero under the
+    /// single-queue scheduler.
+    pub steal_attempts: u64,
+    /// Successful steals (victim scans that migrated at least one job).
+    pub steal_hits: u64,
+    /// Jobs migrated between worker deques by stealing.
+    pub stolen_jobs: u64,
+    /// Jobs admitted above the soft capacity under the degrade
+    /// overload policy. Zero under the reject policy.
+    pub degraded_admissions: u64,
     /// Concrete engine label each worker shard resolved to (sorted;
     /// one entry per worker startup). Under `SABER_ENGINE=auto` this is
     /// where the calibrated per-shard choice is recorded.
@@ -378,6 +453,10 @@ impl ServiceReport {
             ("failed".into(), int(self.failed)),
             ("worker_panics".into(), int(self.worker_panics)),
             ("queue_high_water".into(), int(self.queue_high_water)),
+            ("steal_attempts".into(), int(self.steal_attempts)),
+            ("steal_hits".into(), int(self.steal_hits)),
+            ("stolen_jobs".into(), int(self.stolen_jobs)),
+            ("degraded_admissions".into(), int(self.degraded_admissions)),
             (
                 "engines".into(),
                 Value::Array(
@@ -500,6 +579,10 @@ impl ServiceReport {
             failed: int("failed")?,
             worker_panics: int("worker_panics")?,
             queue_high_water: int("queue_high_water")?,
+            steal_attempts: int("steal_attempts")?,
+            steal_hits: int("steal_hits")?,
+            stolen_jobs: int("stolen_jobs")?,
+            degraded_admissions: int("degraded_admissions")?,
             engines,
             ops,
             queue_wait,
@@ -532,6 +615,15 @@ impl ServiceReport {
         );
         if !self.engines.is_empty() {
             line.push_str(&format!(" engines={}", self.engines.join(",")));
+        }
+        if self.steal_attempts > 0 || self.steal_hits > 0 {
+            line.push_str(&format!(
+                " steals[attempts={} hits={} moved={}]",
+                self.steal_attempts, self.steal_hits, self.stolen_jobs
+            ));
+        }
+        if self.degraded_admissions > 0 {
+            line.push_str(&format!(" degraded={}", self.degraded_admissions));
         }
         for (op, h) in &self.ops {
             if h.count > 0 {
@@ -683,6 +775,65 @@ mod tests {
         assert!(!text.contains(&i64::MAX.to_string()), "clamped i64::MAX edge leaked");
         assert!(!text.contains(&u64::MAX.to_string()), "u64::MAX edge leaked");
         assert!(text.contains("\"+Inf\""));
+    }
+
+    #[test]
+    fn steal_and_degraded_counters_survive_json_and_summary() {
+        let m = Metrics::default();
+        m.record_steal_attempts(5);
+        m.record_steal_hit(3);
+        m.record_steal_hit(1);
+        m.record_degraded();
+        let r = m.snapshot(2, 8, 0);
+        assert_eq!(r.steal_attempts, 5);
+        assert_eq!(r.steal_hits, 2);
+        assert_eq!(r.stolen_jobs, 4);
+        assert_eq!(r.degraded_admissions, 1);
+        let back = ServiceReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+        let summary = r.format_summary();
+        assert!(summary.contains("steals[attempts=5 hits=2 moved=4]"), "{summary}");
+        assert!(summary.contains("degraded=1"), "{summary}");
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let h = LatencyHistogram::default();
+        // 99 samples in bucket 0 (<1µs), one slow sample in bucket 3.
+        for _ in 0..99 {
+            h.record(500);
+        }
+        h.record(5_000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_ns(0.5), BUCKET_BOUNDS_NS[0], "p50 in the fast bucket");
+        assert_eq!(s.quantile_ns(0.99), BUCKET_BOUNDS_NS[0], "rank 99 of 100 still fast");
+        assert_eq!(s.quantile_ns(1.0), BUCKET_BOUNDS_NS[3], "max lands in 4–8µs bucket");
+        assert_eq!(HistogramSnapshot::default().quantile_ns(0.99), 0, "empty → 0");
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_reports_max() {
+        let h = LatencyHistogram::default();
+        h.record(20_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_ns(0.99), 20_000_000, "overflow bucket → max_ns");
+    }
+
+    #[test]
+    fn merge_sums_buckets_and_keeps_max() {
+        let a = LatencyHistogram::default();
+        a.record(500);
+        let b = LatencyHistogram::default();
+        b.record(1_500);
+        b.record(20_000_000);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.total_ns, 500 + 1_500 + 20_000_000);
+        assert_eq!(merged.max_ns, 20_000_000);
+        assert_eq!(merged.counts[0], 1);
+        assert_eq!(merged.counts[1], 1);
+        assert_eq!(merged.counts[BUCKET_COUNT - 1], 1);
     }
 
     #[test]

@@ -218,6 +218,38 @@ mod tests {
     }
 
     #[test]
+    fn close_wakes_every_one_of_many_blocked_poppers() {
+        // Regression guard for the shutdown drain: `close()` must
+        // broadcast (`notify_all`), because a one-at-a-time wakeup
+        // strands all but one of N parked workers until a further push
+        // or close call that never comes. Park strictly more poppers
+        // than a single notify could wake and require every one of them
+        // to return promptly.
+        let q = Arc::new(BoundedQueue::<u8>::new(1));
+        let parked = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let parked = Arc::clone(&parked);
+                std::thread::spawn(move || {
+                    parked.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                    q.pop()
+                })
+            })
+            .collect();
+        // Wait until every popper has at least reached pop(); the
+        // condvar wait itself is entered under the queue lock, so after
+        // close() below no popper can re-park.
+        while parked.load(std::sync::atomic::Ordering::SeqCst) < 6 {
+            std::thread::yield_now();
+        }
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None, "a popper missed the close broadcast");
+        }
+    }
+
+    #[test]
     fn concurrent_producers_and_consumers_lose_nothing() {
         let q = Arc::new(BoundedQueue::new(16));
         let consumers: Vec<_> = (0..2)

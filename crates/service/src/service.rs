@@ -4,23 +4,34 @@
 //! ## Architecture
 //!
 //! ```text
-//!  submitters ──try_push──▶ BoundedQueue ──pop──▶ worker 0 ─┐ owns shard 0
-//!      │ (reject when full)     │                worker 1 ─┤ owns shard 1   ─▶ JobHandle
-//!      ▼                        ▼                   …      │ (one engine-built    .wait()
-//!   SubmitError::QueueFull   metrics              worker N ─┘  multiplier each)
+//!  submitters ──try_push──▶ per-worker deques ──▶ worker 0 ─┐ owns deque+shard 0
+//!      │ (reject when full)  (shortest-queue      worker 1 ─┤ owns deque+shard 1 ─▶ JobHandle
+//!      ▼                      submit, seeded         …      │ (one engine-built       .wait()
+//!   SubmitError::QueueFull    work stealing)      worker N ─┘  multiplier each)
 //! ```
+//!
+//! Dispatch is per-worker bounded deques with seeded work stealing by
+//! default ([`crate::steal::WorkStealQueue`]; owner pops newest-first,
+//! thieves take the older half from a victim's back), jointly bounded
+//! by one global capacity; `ServiceConfig::scheduler` (env
+//! `SABER_SCHED=single`) selects the original single-FIFO
+//! `BoundedQueue` baseline instead. Overload behaviour is a policy knob
+//! (`ServiceConfig::overload`): reject at capacity (default), or
+//! degrade — keep admitting up to [`DEGRADE_HARD_CAP_FACTOR`] × the
+//! capacity, metering the over-capacity admissions, and shed only at
+//! the hard cap.
 //!
 //! Each worker owns one multiplier shard built from the configured
 //! [`EngineKind`] — the cached HS-I mirror by default, or the SWAR
 //! HS-II mirror, batched Toom-Cook-4, batched NTT-over-CRT, or the
-//! `auto` policy that calibrates per shard at startup
-//! (`ServiceConfig::engine`, honouring `SABER_ENGINE`) — the software
-//! analogue of the paper replicating a verified datapath per compute
-//! unit. The concrete engine each shard resolved to is recorded in the
-//! [`ServiceReport`] `engines` field. The shard is worker-local, so the hot path
-//! (multiple caching or lane scans, Keccak) runs with **no lock held
-//! and no sharing**; the only synchronized structures are the O(1)
-//! queue operations and the one-shot result slots.
+//! `auto` policy, which runs **one** startup calibration shared by all
+//! shards (`ServiceConfig::engine`, honouring `SABER_ENGINE`) — the
+//! software analogue of the paper replicating a verified datapath per
+//! compute unit. The concrete engine each shard resolved to is recorded
+//! in the [`ServiceReport`] `engines` field. The shard is worker-local,
+//! so the hot path (multiple caching or lane scans, Keccak) runs with
+//! **no lock held and no sharing**; the only synchronized structures
+//! are the O(1) queue operations and the one-shot result slots.
 //!
 //! ## Failure containment
 //!
@@ -44,22 +55,141 @@ use std::time::Instant;
 
 use saber_kem::params::SaberParams;
 use saber_kem::{Ciphertext, KemSecretKey, PublicKey, SharedSecret};
+use saber_ring::autotune::Calibration;
 use saber_ring::{EngineKind, PolyMatrix, PolyMultiplier, PolyVec, SecretVec};
+use saber_testkit::Rng;
 
 use crate::metrics::{Metrics, OpKind, ServiceReport};
 use crate::queue::{BoundedQueue, PushError};
+use crate::steal::{StealTally, WorkStealQueue};
 
-/// Pool sizing knobs.
+/// Environment variable selecting the dispatch scheduler
+/// (`"steal"` / `"single"`).
+pub const SCHED_ENV: &str = "SABER_SCHED";
+
+/// Environment variable overriding the steal-decision seed (a `u64`,
+/// decimal or `0x`-prefixed hex).
+pub const STEAL_SEED_ENV: &str = "SABER_STEAL_SEED";
+
+/// Environment variable selecting the overload policy
+/// (`"reject"` / `"degrade"`).
+pub const OVERLOAD_ENV: &str = "SABER_OVERLOAD";
+
+/// Default steal-decision seed when [`STEAL_SEED_ENV`] is unset.
+pub const DEFAULT_STEAL_SEED: u64 = 0x5ABE_57EA;
+
+/// Under [`OverloadPolicy::Degrade`] the queue keeps admitting up to
+/// this multiple of the configured capacity before finally shedding.
+pub const DEGRADE_HARD_CAP_FACTOR: usize = 4;
+
+/// Which dispatch structure feeds the workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The original single MPMC FIFO [`BoundedQueue`] — kept as the
+    /// baseline the convoy regression measures against.
+    SingleQueue,
+    /// Per-worker bounded deques with seeded work stealing
+    /// ([`WorkStealQueue`]); the default.
+    WorkSteal,
+}
+
+impl SchedulerKind {
+    /// Stable label used in reports and env parsing.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::SingleQueue => "single",
+            SchedulerKind::WorkSteal => "steal",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "single" => Some(SchedulerKind::SingleQueue),
+            "steal" => Some(SchedulerKind::WorkSteal),
+            _ => None,
+        }
+    }
+
+    /// Reads [`SCHED_ENV`]; unset or unrecognized values fall back to
+    /// [`SchedulerKind::WorkSteal`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        std::env::var(SCHED_ENV)
+            .ok()
+            .and_then(|v| SchedulerKind::parse(&v))
+            .unwrap_or(SchedulerKind::WorkSteal)
+    }
+}
+
+/// What the service does when a submission arrives at a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Reject at the configured capacity (the original contract):
+    /// overload degrades into explicit [`SubmitError::QueueFull`]
+    /// responses and the wait-time distribution stays bounded.
+    Reject,
+    /// Degrade, then shed: keep admitting up to
+    /// [`DEGRADE_HARD_CAP_FACTOR`] × capacity — every admission beyond
+    /// the configured capacity is counted as *degraded* (it will see
+    /// convoy-length waits) — and reject only at the hard cap.
+    Degrade,
+}
+
+impl OverloadPolicy {
+    /// Stable label used in reports and env parsing.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OverloadPolicy::Reject => "reject",
+            OverloadPolicy::Degrade => "degrade",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    #[must_use]
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "reject" => Some(OverloadPolicy::Reject),
+            "degrade" => Some(OverloadPolicy::Degrade),
+            _ => None,
+        }
+    }
+
+    /// Reads [`OVERLOAD_ENV`]; unset or unrecognized values fall back
+    /// to [`OverloadPolicy::Reject`].
+    #[must_use]
+    pub fn from_env() -> Self {
+        std::env::var(OVERLOAD_ENV)
+            .ok()
+            .and_then(|v| OverloadPolicy::parse(&v))
+            .unwrap_or(OverloadPolicy::Reject)
+    }
+}
+
+/// Pool sizing and scheduling knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Worker threads (= multiplier shards). Must be ≥ 1.
     pub workers: usize,
-    /// Bounded queue capacity; submissions beyond it are rejected.
+    /// Bounded queue capacity; submissions beyond it are rejected
+    /// (under [`OverloadPolicy::Degrade`], beyond the hard cap).
     pub queue_capacity: usize,
     /// Multiplier engine each worker shard is built from: one of the
     /// four oracle-verified software backends, or [`EngineKind::Auto`]
-    /// to let a startup calibration pick the fastest per shard.
+    /// to let one shared startup calibration pick the fastest.
     pub engine: EngineKind,
+    /// Dispatch scheduler: per-worker stealing deques (default) or the
+    /// single-FIFO baseline.
+    pub scheduler: SchedulerKind,
+    /// What to do at a full queue: reject (default) or degrade-then-shed.
+    pub overload: OverloadPolicy,
+    /// Seed driving every steal/victim decision. Fixed default so runs
+    /// are reproducible; sweep it (or `SABER_STEAL_SEED`) to stress
+    /// different steal orders.
+    pub steal_seed: u64,
 }
 
 impl Default for ServiceConfig {
@@ -67,14 +197,32 @@ impl Default for ServiceConfig {
     /// (not `available_parallelism`) so behaviour is identical on every
     /// host; size explicitly for production use. The engine honours the
     /// `SABER_ENGINE` environment variable (default: the cached HS-I
-    /// mirror) so CI can sweep the whole test battery per engine.
+    /// mirror), the scheduler honours `SABER_SCHED` (default: work
+    /// stealing), the overload policy honours `SABER_OVERLOAD`
+    /// (default: reject), and the steal seed honours `SABER_STEAL_SEED`
+    /// — so CI can sweep the whole test battery per engine, scheduler,
+    /// and steal order.
     fn default() -> Self {
         Self {
             workers: 4,
             queue_capacity: 64,
             engine: EngineKind::from_env(),
+            scheduler: SchedulerKind::from_env(),
+            overload: OverloadPolicy::from_env(),
+            steal_seed: steal_seed_from_env(),
         }
     }
+}
+
+fn steal_seed_from_env() -> u64 {
+    let Some(raw) = std::env::var(STEAL_SEED_ENV).ok().filter(|v| !v.is_empty()) else {
+        return DEFAULT_STEAL_SEED;
+    };
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse(),
+    };
+    parsed.unwrap_or(DEFAULT_STEAL_SEED)
 }
 
 impl ServiceConfig {
@@ -191,6 +339,13 @@ enum Request {
         matrix: Arc<PolyMatrix>,
         secret: Arc<SecretVec>,
     },
+    /// A deep batch of products against one matrix, executed as one
+    /// indivisible job — the "large job" shape the convoy regression
+    /// parks behind small traffic.
+    MatVecBatch {
+        matrix: Arc<PolyMatrix>,
+        secrets: Vec<Arc<SecretVec>>,
+    },
     /// Fault injection: panics inside the worker (test instrumentation).
     Panic { message: String },
     /// Holds the worker until the gate opens (test instrumentation).
@@ -203,6 +358,7 @@ enum Response {
     Encaps(Box<(Ciphertext, SharedSecret)>),
     Decaps(SharedSecret),
     MatVec(PolyVec<13>),
+    MatVecBatch(Vec<PolyVec<13>>),
     Unit,
 }
 
@@ -262,11 +418,66 @@ struct Job {
     enqueued: Instant,
 }
 
+/// The dispatch structure feeding the pool: the stealing deques or the
+/// single-FIFO baseline, behind one push/pop surface.
+enum Dispatch {
+    Single(BoundedQueue<Job>),
+    Steal(WorkStealQueue<Job>),
+}
+
+impl Dispatch {
+    fn try_push(&self, job: Job) -> Result<usize, PushError<Job>> {
+        match self {
+            Dispatch::Single(q) => q.try_push(job),
+            Dispatch::Steal(q) => q.try_push(job),
+        }
+    }
+
+    fn pop(&self, worker: usize, rng: &mut Rng) -> Option<(Job, StealTally)> {
+        match self {
+            Dispatch::Single(q) => q.pop().map(|job| (job, StealTally::default())),
+            Dispatch::Steal(q) => q.pop(worker, rng),
+        }
+    }
+
+    fn close(&self) {
+        match self {
+            Dispatch::Single(q) => q.close(),
+            Dispatch::Steal(q) => q.close(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Dispatch::Single(q) => q.len(),
+            Dispatch::Steal(q) => q.len(),
+        }
+    }
+
+    /// The hard admission bound (= configured capacity under
+    /// [`OverloadPolicy::Reject`]).
+    fn hard_capacity(&self) -> usize {
+        match self {
+            Dispatch::Single(q) => q.capacity(),
+            Dispatch::Steal(q) => q.capacity(),
+        }
+    }
+}
+
 struct Inner {
-    queue: BoundedQueue<Job>,
+    queue: Dispatch,
     metrics: Metrics,
     workers: usize,
+    /// The concrete engine every shard builds — `Auto` is resolved
+    /// exactly once in [`KemService::spawn`], never per worker.
     engine: EngineKind,
+    /// The shared calibration outcome when the config asked for `Auto`.
+    calibration: Option<Calibration>,
+    /// The configured (soft) capacity reported to callers; the
+    /// dispatch's hard bound may be larger under `Degrade`.
+    soft_capacity: usize,
+    overload: OverloadPolicy,
+    steal_seed: u64,
 }
 
 /// The concurrent KEM service: a fixed pool of workers, each owning an
@@ -310,22 +521,56 @@ impl KemService {
         // panic hook — both idempotent, both process-wide.
         crate::obs::arm_flight_recorder();
         crate::obs::install_panic_hook();
+        // Resolve `Auto` exactly once, before any worker exists:
+        // concurrent per-shard calibrations race each other's timing on
+        // a loaded host and can resolve *different* engines across
+        // shards. One calibration, one winner, every shard builds it.
+        let (engine, calibration) = match config.engine {
+            EngineKind::Auto => {
+                let cal = saber_ring::autotune::calibrate();
+                (cal.chosen, Some(cal))
+            }
+            concrete => (concrete, None),
+        };
+        let hard_capacity = match config.overload {
+            OverloadPolicy::Reject => config.queue_capacity,
+            OverloadPolicy::Degrade => config
+                .queue_capacity
+                .saturating_mul(DEGRADE_HARD_CAP_FACTOR),
+        };
+        let queue = match config.scheduler {
+            SchedulerKind::SingleQueue => Dispatch::Single(BoundedQueue::new(hard_capacity)),
+            SchedulerKind::WorkSteal => {
+                Dispatch::Steal(WorkStealQueue::new(hard_capacity, config.workers))
+            }
+        };
         let inner = Arc::new(Inner {
-            queue: BoundedQueue::new(config.queue_capacity),
+            queue,
             metrics: Metrics::default(),
             workers: config.workers,
-            engine: config.engine,
+            engine,
+            calibration,
+            soft_capacity: config.queue_capacity,
+            overload: config.overload,
+            steal_seed: config.steal_seed,
         });
         let handles = (0..config.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 thread::Builder::new()
                     .name(format!("saber-service-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, i))
                     .expect("spawn service worker")
             })
             .collect();
         Self { inner, handles }
+    }
+
+    /// The shared calibration outcome, when the pool was spawned with
+    /// [`EngineKind::Auto`] — all shards build its single winner.
+    #[must_use]
+    pub fn calibration(&self) -> Option<&Calibration> {
+        self.inner.calibration.as_ref()
     }
 
     /// Worker count the pool was sized with.
@@ -334,10 +579,12 @@ impl KemService {
         self.inner.workers
     }
 
-    /// Configured queue capacity.
+    /// Configured queue capacity (the soft bound; under
+    /// [`OverloadPolicy::Degrade`] the hard admission cap is
+    /// [`DEGRADE_HARD_CAP_FACTOR`] × this).
     #[must_use]
     pub fn queue_capacity(&self) -> usize {
-        self.inner.queue.capacity()
+        self.inner.soft_capacity
     }
 
     /// Submits a KEM key generation from a 32-byte master seed.
@@ -429,6 +676,30 @@ impl KemService {
         )
     }
 
+    /// Submits a deep batch of products `A·sᵢ` executed as **one**
+    /// indivisible job on a single worker — the large-job shape whose
+    /// convoy behaviour the scheduler tests measure. Metered as one
+    /// [`OpKind::MatVec`] completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the queue is full or the service is
+    /// shutting down; the job was not admitted.
+    pub fn submit_matvec_batch(
+        &self,
+        matrix: Arc<PolyMatrix>,
+        secrets: Vec<Arc<SecretVec>>,
+    ) -> Result<JobHandle<Vec<PolyVec<13>>>, SubmitError> {
+        self.submit(
+            Some(OpKind::MatVec),
+            Request::MatVecBatch { matrix, secrets },
+            |r| match r {
+                Response::MatVecBatch(v) => v,
+                _ => unreachable!("batch job resolves to a batch response"),
+            },
+        )
+    }
+
     /// Fault injection: submits a job that panics inside its worker.
     ///
     /// Test instrumentation (the service-layer analogue of
@@ -477,12 +748,20 @@ impl KemService {
         match self.inner.queue.try_push(job) {
             Ok(depth) => {
                 self.inner.metrics.record_submitted(depth);
+                // A `Degrade` admission past the soft capacity is work
+                // we accepted knowing it will see convoy-length waits:
+                // meter it so the overload soak can report honestly.
+                if self.inner.overload == OverloadPolicy::Degrade
+                    && depth > self.inner.soft_capacity
+                {
+                    self.inner.metrics.record_degraded();
+                }
                 Ok(JobHandle { slot, extract })
             }
             Err(PushError::Full(_)) => {
                 self.inner.metrics.record_rejected();
                 Err(SubmitError::QueueFull {
-                    capacity: self.inner.queue.capacity(),
+                    capacity: self.inner.queue.hard_capacity(),
                 })
             }
             Err(PushError::Closed(_)) => Err(SubmitError::ShutDown),
@@ -494,7 +773,7 @@ impl KemService {
     pub fn report(&self) -> ServiceReport {
         self.inner.metrics.snapshot(
             self.inner.workers,
-            self.inner.queue.capacity(),
+            self.inner.soft_capacity,
             self.inner.queue.len(),
         )
     }
@@ -519,7 +798,7 @@ impl KemService {
         }
         self.inner.metrics.snapshot(
             self.inner.workers,
-            self.inner.queue.capacity(),
+            self.inner.soft_capacity,
             self.inner.queue.len(),
         )
     }
@@ -548,6 +827,12 @@ fn run_request(shard: &mut dyn PolyMultiplier, request: Request) -> Response {
         }
         Request::Decaps { sk, ct } => Response::Decaps(saber_kem::decaps(&sk, &ct, shard)),
         Request::MatVec { matrix, secret } => Response::MatVec(matrix.mul_vec(&secret, shard)),
+        Request::MatVecBatch { matrix, secrets } => Response::MatVecBatch(
+            secrets
+                .iter()
+                .map(|secret| matrix.mul_vec(secret, shard))
+                .collect(),
+        ),
         Request::Panic { message } => panic!("{message}"),
         Request::Hold { gate } => {
             gate.wait_released();
@@ -566,16 +851,32 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn worker_loop(inner: &Inner) {
-    // Resolve the engine once per worker: for `SABER_ENGINE=auto` this
-    // runs the startup calibration, and the concrete winner (never
-    // `auto`) is what the report records and what panic recovery
-    // rebuilds — a mid-traffic rebuild must not re-calibrate.
-    let resolved = inner.engine.resolve();
-    let kind = resolved.kind;
-    let mut shard = resolved.shard;
+fn worker_loop(inner: &Inner, worker: usize) {
+    // `inner.engine` is already concrete: `spawn` resolved `Auto`
+    // through ONE shared calibration before any worker existed, so
+    // every shard builds the same winner (and a panic-recovery rebuild
+    // never re-calibrates mid-traffic).
+    let kind = inner.engine;
+    let mut shard = kind.build();
     inner.metrics.record_engine(kind.label());
-    while let Some(job) = inner.queue.pop() {
+    // Every steal/victim decision this worker makes is drawn from a
+    // seeded stream: the pool seed mixed with the worker index
+    // (SplitMix64-style odd-constant spread so adjacent workers do not
+    // correlate).
+    let mut steal_rng = Rng::new(
+        inner
+            .steal_seed
+            .wrapping_add((worker as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    while let Some((job, tally)) = inner.queue.pop(worker, &mut steal_rng) {
+        if tally.attempts > 0 {
+            inner.metrics.record_steal_attempts(tally.attempts);
+        }
+        if let Some(victim) = tally.victim {
+            inner.metrics.record_steal_hit(tally.moved);
+            saber_trace::counter("service", "steal.hit", 1);
+            saber_trace::counter("service", saber_trace::victim_counter_name(victim), 1);
+        }
         let Job {
             request,
             op,

@@ -22,7 +22,8 @@
 //! decimal bounds + `"+Inf"`), and the exposition uses **cumulative**
 //! bucket counts as the `le` semantics require.
 //!
-//! Versioning: `SCHEMA_VERSION` is 1. Parsers reject documents with a
+//! Versioning: `SCHEMA_VERSION` is 2 (version 2 added the service
+//! report's steal/degraded counters). Parsers reject documents with a
 //! different version rather than guessing — additive fields bump the
 //! version, and a reader for version N refuses N+1 documents instead of
 //! silently dropping sections.
@@ -34,7 +35,7 @@ use crate::metrics::{bucket_edge_label, ServiceReport, BUCKET_COUNT};
 use crate::obs;
 
 /// Version of the snapshot document schema.
-pub const SCHEMA_VERSION: i64 = 1;
+pub const SCHEMA_VERSION: i64 = 2;
 
 /// Flight-recorder status at snapshot time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -456,6 +457,30 @@ impl MetricsSnapshot {
             "saber_worker_panics_total",
             "Worker panics contained by the pool.",
             s.worker_panics,
+        );
+        counter(
+            &mut out,
+            "saber_steal_attempts_total",
+            "Victim scans run by workers looking for stealable work.",
+            s.steal_attempts,
+        );
+        counter(
+            &mut out,
+            "saber_steal_hits_total",
+            "Successful steals (scans that migrated at least one job).",
+            s.steal_hits,
+        );
+        counter(
+            &mut out,
+            "saber_stolen_jobs_total",
+            "Jobs migrated between worker deques by stealing.",
+            s.stolen_jobs,
+        );
+        counter(
+            &mut out,
+            "saber_degraded_admissions_total",
+            "Jobs admitted above the soft capacity under the degrade policy.",
+            s.degraded_admissions,
         );
 
         if !s.engines.is_empty() {
@@ -886,11 +911,11 @@ mod tests {
     fn unknown_schema_version_is_refused() {
         let snap = sample_snapshot();
         let text = snap.to_json_string().replace(
-            "\"schema_version\": 1",
             "\"schema_version\": 2",
+            "\"schema_version\": 3",
         );
         let err = MetricsSnapshot::from_json_str(&text).unwrap_err();
-        assert!(err.contains("unsupported snapshot schema version 2"), "{err}");
+        assert!(err.contains("unsupported snapshot schema version 3"), "{err}");
     }
 
     #[test]

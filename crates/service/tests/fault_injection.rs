@@ -53,6 +53,7 @@ fn mid_batch_panics_are_contained_counted_once_and_leak_nothing() {
             workers: WORKERS,
             queue_capacity: QUEUE,
             engine: EngineKind::Cached,
+            ..ServiceConfig::default()
         });
 
         // Pin both workers so the batch queues deterministically.

@@ -68,6 +68,6 @@ pub mod vcd;
 pub use clock::{Clock, FakeClock, MonotonicClock};
 pub use cycle::{CyclePhase, CycleTimeline};
 pub use span::{
-    counter, enabled, instant_event, instant_ns, now_ns, span, span_at, start, EventKind,
-    SpanGuard, Trace, TraceEvent, TraceSession,
+    counter, enabled, instant_event, instant_ns, now_ns, span, span_at, start,
+    victim_counter_name, EventKind, SpanGuard, Trace, TraceEvent, TraceSession,
 };

@@ -256,6 +256,29 @@ pub fn counter(category: &'static str, name: &'static str, value: i64) {
     });
 }
 
+/// Static per-victim steal counter names: probe names must be
+/// `&'static str`, so the service's work-stealing scheduler maps victim
+/// indices through this fixed table. Victims beyond the table share the
+/// last slot — per-victim attribution is a debugging aid, and pools
+/// wider than eight workers still get exact totals via `steal.hit`.
+const STEAL_VICTIM_NAMES: [&str; 8] = [
+    "steal.victim.0",
+    "steal.victim.1",
+    "steal.victim.2",
+    "steal.victim.3",
+    "steal.victim.4",
+    "steal.victim.5",
+    "steal.victim.6",
+    "steal.victim.7",
+];
+
+/// The `'static` counter name for steals from worker `victim`'s deque
+/// (clamped to `steal.victim.7` for wider pools).
+#[must_use]
+pub fn victim_counter_name(victim: usize) -> &'static str {
+    STEAL_VICTIM_NAMES[victim.min(STEAL_VICTIM_NAMES.len() - 1)]
+}
+
 /// Records a zero-duration marker.
 #[inline]
 pub fn instant_event(category: &'static str, name: &'static str) {

@@ -7,8 +7,8 @@
 #   tools/ci.sh timing_gate   # one named stage (plus its dependencies)
 #
 # Stage names: lint build test fuzz swar_gate fault_gate
-# fast_engine_gate ct_engine_gate timing_gate soc_gate service trace
-# obs_gate bench_reports bench
+# fast_engine_gate ct_engine_gate timing_gate soc_gate service
+# sched_gate trace obs_gate bench_reports bench
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -140,6 +140,31 @@ if want service; then
         echo "    SABER_ENGINE=$e SABER_SOAK_OPS=2000"
         SABER_ENGINE=$e SABER_SOAK_OPS=2000 cargo test -q --release -p saber-service --test soak
     done
+fi
+
+# Scheduler gate: the work-stealing dispatcher's stress battery —
+# seeded steal-order stress (the soc fuzzer's seeded-shuffle pattern
+# applied to victim selection), forced-steal counter checks, the convoy
+# regression, a shutdown-under-load drain check, and the degrade-policy
+# admission contract. Then the steal-seed sweep: the equivalence battery
+# must be transcript-identical under several steal seeds *and* under the
+# single-queue baseline scheduler, and the committed BENCH_service.json
+# must satisfy the measurement-honesty schema (per-entry
+# host_parallelism, legal basis values, soak section).
+if want sched_gate; then
+    echo "==> sched gate: steal stress battery (release)"
+    cargo test -q --release -p saber-service --test sched_stress
+
+    echo "==> sched gate: steal-seed sweep over the equivalence battery (release)"
+    for s in 1 2 3; do
+        echo "    SABER_STEAL_SEED=$s"
+        SABER_STEAL_SEED=$s cargo test -q --release -p saber-service --test concurrency_equivalence
+    done
+    echo "    SABER_SCHED=single"
+    SABER_SCHED=single cargo test -q --release -p saber-service --test concurrency_equivalence
+
+    echo "==> sched gate: BENCH_service.json measurement-honesty schema"
+    cargo test -q -p saber-bench --test bench_reports_schema
 fi
 
 if want trace; then
